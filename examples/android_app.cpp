@@ -1,0 +1,77 @@
+//===- android_app.cpp - event-driven app analysis ---------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+//
+// Analyzes an Android-app-shaped workload (many event-handler origins,
+// a few background threads) and demonstrates the Section 4.2 treatment:
+// event handlers all run on the looper thread, so O2 serializes them
+// with an implicit global lock — handler/handler pairs are not reported,
+// while thread/handler pairs still are. Toggling the treatment off shows
+// how many false handler/handler warnings it suppresses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/O2.h"
+#include "o2/Support/OutputStream.h"
+#include "o2/Workload/BugModels.h"
+#include "o2/Workload/Generator.h"
+
+using namespace o2;
+
+static unsigned countKindPairs(const O2Analysis &A, OriginKind K1,
+                               OriginKind K2) {
+  unsigned N = 0;
+  for (const Race &R : A.Races.races()) {
+    OriginKind KA = A.SHB.thread(R.ThreadA).Kind;
+    OriginKind KB = A.SHB.thread(R.ThreadB).Kind;
+    if ((KA == K1 && KB == K2) || (KA == K2 && KB == K1))
+      ++N;
+  }
+  return N;
+}
+
+int main() {
+  // An app with 6 handlers and 2 background threads sharing state.
+  WorkloadProfile P;
+  P.Name = "android-demo";
+  P.NumThreads = 2;
+  P.NumEventHandlers = 6;
+  P.RacyObjects = 2;
+  P.UnprotectedWritesPerOrigin = 2;
+  P.Seed = 2024;
+  auto M = generateWorkload(P);
+
+  outs() << "=== with the looper serialization of Section 4.2 ===\n";
+  O2Config Serialized;
+  O2Analysis A = analyzeModule(*M, Serialized);
+  A.printSummary(outs());
+  outs() << "thread/handler races:  "
+         << countKindPairs(A, OriginKind::Thread, OriginKind::Event) << '\n';
+  outs() << "handler/handler races: "
+         << countKindPairs(A, OriginKind::Event, OriginKind::Event) << '\n';
+
+  outs() << "\n=== treating handlers as free-running threads ===\n";
+  O2Config Parallel;
+  Parallel.Detector.SHB.SerializeEventHandlers = false;
+  O2Analysis B = analyzeModule(*M, Parallel);
+  B.printSummary(outs());
+  outs() << "thread/handler races:  "
+         << countKindPairs(B, OriginKind::Thread, OriginKind::Event) << '\n';
+  outs() << "handler/handler races: "
+         << countKindPairs(B, OriginKind::Event, OriginKind::Event) << '\n';
+  outs() << "\nfalse handler/handler warnings suppressed by Section 4.2: "
+         << (B.Races.numRaces() - A.Races.numRaces()) << '\n';
+
+  // The Firefox Focus bug shows the treatment does not hide real
+  // thread<->event races.
+  outs() << "\n=== Firefox Focus app-context bug (Bug-1581940) ===\n";
+  const BugModel *Firefox = findBugModel("firefox_appctx");
+  auto FM = buildBugModel(*Firefox);
+  O2Analysis F = analyzeModule(*FM);
+  F.Races.print(outs(), *F.PTA);
+  return 0;
+}

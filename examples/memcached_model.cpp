@@ -1,0 +1,70 @@
+//===- memcached_model.cpp - the Memcached thread<->event race --------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces the paper's Memcached case study (Section 5.4): the
+// do_slabs_reassign event handler reads slabclass state without
+// slabs_lock while worker threads mutate it under the lock. The race
+// exists only across the thread/event boundary — handlers never race
+// each other (they share the looper), and workers never race each other
+// (they share the lock). A detector that considers only threads or only
+// events misses it; O2's origins unify them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/O2.h"
+#include "o2/Race/RacerDLike.h"
+#include "o2/Support/OutputStream.h"
+#include "o2/Workload/BugModels.h"
+
+using namespace o2;
+
+int main() {
+  const BugModel *Model = findBugModel("memcached_slabs");
+  if (!Model) {
+    errs() << "model registry is missing memcached_slabs\n";
+    return 1;
+  }
+  outs() << "subject: " << Model->Subject << '\n';
+  outs() << "bug:     " << Model->Description << "\n\n";
+
+  auto M = buildBugModel(*Model);
+
+  // Full O2 pipeline (OPA + OSA + SHB + optimized detector).
+  O2Analysis Result = analyzeModule(*M);
+  Result.printSummary(outs());
+  outs() << '\n';
+  Result.Races.print(outs(), *Result.PTA);
+
+  // Show which origin kinds collide: the paper's point is the
+  // thread<->event interaction.
+  for (const Race &R : Result.Races.races()) {
+    auto KindName = [](OriginKind K) {
+      switch (K) {
+      case OriginKind::Main:
+        return "main";
+      case OriginKind::Thread:
+        return "thread";
+      case OriginKind::Event:
+        return "event";
+      }
+      return "?";
+    };
+    outs() << "  -> between a " << KindName(Result.SHB.thread(R.ThreadA).Kind)
+           << " and an " << KindName(Result.SHB.thread(R.ThreadB).Kind)
+           << " origin\n";
+  }
+
+  // Contrast with the syntactic RacerD-style baseline.
+  outs() << '\n';
+  RacerDReport RacerD = runRacerDLike(*M);
+  RacerD.print(outs());
+  outs() << "\nO2 races: " << Result.Races.numRaces()
+         << ", RacerD-like potential races: " << RacerD.numPotentialRaces()
+         << '\n';
+  return 0;
+}

@@ -1,0 +1,223 @@
+//===- o2cli.cpp - command-line race detector ---------------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+//
+// Analyzes a textual OIR program:
+//
+//   o2cli [options] <program.oir>
+//   o2cli --bug-model <name>        analyze a built-in bug model
+//   o2cli --list-bug-models
+//
+// Options:
+//   --ctx=<0-ctx|cfa|obj|origin>    context abstraction (default origin)
+//   --k=<n>                         context depth (default 1)
+//   --no-serialize-events           disable the Section 4.2 treatment
+//   --naive                         disable all detector optimizations
+//   --racerd                        also run the syntactic baseline
+//   --deadlocks                     also run the lock-order deadlock analysis
+//   --oversync                      also report over-synchronized regions
+//   --json                          print the race report as JSON
+//   --dot-callgraph                 dump the call graph in Graphviz format
+//   --dot-shb                       dump the SHB thread graph in Graphviz
+//   --print-module                  echo the parsed module
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/IR/Parser.h"
+#include "o2/IR/Printer.h"
+#include "o2/IR/Verifier.h"
+#include "o2/O2.h"
+#include "o2/PTA/CallGraph.h"
+#include "o2/Race/DeadlockDetector.h"
+#include "o2/Race/OverSync.h"
+#include "o2/Race/RacerDLike.h"
+#include "o2/Support/OutputStream.h"
+#include "o2/Workload/BugModels.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace o2;
+
+namespace {
+
+struct CliOptions {
+  std::string InputFile;
+  std::string BugModelName;
+  bool ListBugModels = false;
+  bool PrintModule = false;
+  bool Naive = false;
+  bool RacerD = false;
+  bool Deadlocks = false;
+  bool OverSync = false;
+  bool JSON = false;
+  bool DotCallGraph = false;
+  bool DotSHB = false;
+  O2Config Config;
+};
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&Arg](const char *Prefix) -> std::string {
+      return Arg.substr(std::string(Prefix).size());
+    };
+    if (Arg == "--list-bug-models") {
+      Cli.ListBugModels = true;
+    } else if (Arg == "--bug-model" && I + 1 < Argc) {
+      Cli.BugModelName = Argv[++I];
+    } else if (Arg.rfind("--ctx=", 0) == 0) {
+      std::string Kind = Value("--ctx=");
+      if (Kind == "0-ctx")
+        Cli.Config.PTA.Kind = ContextKind::Insensitive;
+      else if (Kind == "cfa")
+        Cli.Config.PTA.Kind = ContextKind::KCallsite;
+      else if (Kind == "obj")
+        Cli.Config.PTA.Kind = ContextKind::KObject;
+      else if (Kind == "origin")
+        Cli.Config.PTA.Kind = ContextKind::Origin;
+      else {
+        errs() << "error: unknown context kind '" << Kind << "'\n";
+        return false;
+      }
+    } else if (Arg.rfind("--k=", 0) == 0) {
+      Cli.Config.PTA.K = static_cast<unsigned>(std::stoul(Value("--k=")));
+    } else if (Arg == "--no-serialize-events") {
+      Cli.Config.Detector.SHB.SerializeEventHandlers = false;
+    } else if (Arg == "--naive") {
+      Cli.Naive = true;
+    } else if (Arg == "--racerd") {
+      Cli.RacerD = true;
+    } else if (Arg == "--deadlocks") {
+      Cli.Deadlocks = true;
+    } else if (Arg == "--oversync") {
+      Cli.OverSync = true;
+    } else if (Arg == "--json") {
+      Cli.JSON = true;
+    } else if (Arg == "--dot-callgraph") {
+      Cli.DotCallGraph = true;
+    } else if (Arg == "--dot-shb") {
+      Cli.DotSHB = true;
+    } else if (Arg == "--print-module") {
+      Cli.PrintModule = true;
+    } else if (!Arg.empty() && Arg[0] != '-') {
+      Cli.InputFile = Arg;
+    } else {
+      errs() << "error: unknown option '" << Arg << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string readFile(const std::string &Path, bool &Ok) {
+  Ok = false;
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return "";
+  std::string Content;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Content.append(Buf, N);
+  std::fclose(File);
+  Ok = true;
+  return Content;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  if (!parseArgs(Argc, Argv, Cli))
+    return 1;
+
+  if (Cli.ListBugModels) {
+    for (const BugModel &Model : bugModels())
+      outs() << Model.Name << "  (" << Model.Subject << ", "
+             << Model.ExpectedRaces << " races): " << Model.Description
+             << '\n';
+    return 0;
+  }
+
+  std::unique_ptr<Module> M;
+  if (!Cli.BugModelName.empty()) {
+    const BugModel *Model = findBugModel(Cli.BugModelName);
+    if (!Model) {
+      errs() << "error: no bug model named '" << Cli.BugModelName << "'\n";
+      return 1;
+    }
+    M = buildBugModel(*Model);
+  } else if (!Cli.InputFile.empty()) {
+    bool Ok = false;
+    std::string Source = readFile(Cli.InputFile, Ok);
+    if (!Ok) {
+      errs() << "error: cannot read '" << Cli.InputFile << "'\n";
+      return 1;
+    }
+    std::string Err;
+    M = parseModule(Source, Err, Cli.InputFile);
+    if (!M) {
+      errs() << Cli.InputFile << ":" << Err << '\n';
+      return 1;
+    }
+  } else {
+    errs() << "usage: o2cli [options] <program.oir> | --bug-model <name> | "
+              "--list-bug-models\n";
+    return 1;
+  }
+
+  std::vector<std::string> Errors;
+  if (!verifyModule(*M, Errors)) {
+    for (const std::string &E : Errors)
+      errs() << "verifier: " << E << '\n';
+    return 1;
+  }
+
+  if (Cli.PrintModule)
+    outs() << printModule(*M) << '\n';
+
+  if (Cli.Naive) {
+    Cli.Config.Detector.IntegerHB = false;
+    Cli.Config.Detector.CacheLocksetChecks = false;
+    Cli.Config.Detector.LockRegionMerging = false;
+  }
+
+  O2Analysis Result = analyzeModule(*M, Cli.Config);
+
+  if (Cli.DotCallGraph) {
+    CallGraph::build(*Result.PTA).printDot(outs(), *Result.PTA);
+    return 0;
+  }
+  if (Cli.DotSHB) {
+    printSHBDot(Result.SHB, outs());
+    return 0;
+  }
+  if (Cli.JSON) {
+    Result.Races.printJSON(outs(), *Result.PTA);
+    return Result.Races.numRaces() == 0 ? 0 : 2;
+  }
+
+  Result.printSummary(outs());
+  outs() << '\n';
+  Result.Races.print(outs(), *Result.PTA);
+
+  if (Cli.Deadlocks) {
+    outs() << '\n';
+    detectDeadlocks(*Result.PTA, Result.SHB).print(outs(), *Result.PTA);
+  }
+  if (Cli.OverSync) {
+    outs() << '\n';
+    detectOverSynchronization(Result.Sharing, Result.SHB).print(outs());
+  }
+  if (Cli.RacerD) {
+    outs() << '\n';
+    runRacerDLike(*M).print(outs());
+  }
+  return Result.Races.numRaces() == 0 ? 0 : 2;
+}

@@ -1,0 +1,38 @@
+//===- o2/IR/Parser.h - Textual OIR parser ------------------------*- C++ -*-===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual OIR format into a Module. The grammar (see
+/// docs in README.md) covers classes with fields/methods and single
+/// inheritance, globals, free functions, and the statement forms of the
+/// paper's Table 2 plus lock/join/spawn/loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef O2_IR_PARSER_H
+#define O2_IR_PARSER_H
+
+#include "o2/IR/Module.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace o2 {
+
+/// Parses \p Source into a fresh module named \p ModuleName.
+///
+/// \returns the module, or null on a syntax/semantic error, in which case
+/// \p Error holds a "line:col: message" diagnostic.
+std::unique_ptr<Module> parseModule(std::string_view Source,
+                                    std::string &Error,
+                                    const std::string &ModuleName = "module");
+
+} // namespace o2
+
+#endif // O2_IR_PARSER_H

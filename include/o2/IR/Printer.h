@@ -1,0 +1,41 @@
+//===- o2/IR/Printer.h - Textual OIR printer ----------------------*- C++ -*-===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints a Module in the textual OIR format accepted by parseModule().
+/// print/parse round-trips: parseModule(printModule(M)) yields a module
+/// that prints identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef O2_IR_PRINTER_H
+#define O2_IR_PRINTER_H
+
+#include <string>
+
+namespace o2 {
+
+class Module;
+class OutputStream;
+class Stmt;
+
+/// Prints \p M to \p OS in textual OIR.
+void printModule(const Module &M, OutputStream &OS);
+
+/// Returns the textual OIR for \p M.
+std::string printModule(const Module &M);
+
+/// Prints one statement (no trailing newline), e.g. "x = y.f".
+void printStmt(const Stmt &S, OutputStream &OS);
+
+/// Returns the textual form of one statement.
+std::string printStmt(const Stmt &S);
+
+} // namespace o2
+
+#endif // O2_IR_PRINTER_H

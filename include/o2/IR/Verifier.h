@@ -1,0 +1,34 @@
+//===- o2/IR/Verifier.h - OIR structural checks -------------------*- C++ -*-===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks the structural invariants the analyses assume: variables belong
+/// to their functions, field/array accesses are well typed, assignments
+/// respect the class hierarchy, calls have matching arity, lock regions
+/// are well nested per function, and spawn receivers can dispatch their
+/// entry method.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef O2_IR_VERIFIER_H
+#define O2_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace o2 {
+
+class Module;
+
+/// Verifies \p M. Appends one message per violation to \p Errors.
+/// \returns true if the module is well formed.
+bool verifyModule(const Module &M, std::vector<std::string> &Errors);
+
+} // namespace o2
+
+#endif // O2_IR_VERIFIER_H

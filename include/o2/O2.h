@@ -1,0 +1,73 @@
+//===- o2/O2.h - O2 public facade ----------------------------------*- C++ -*-===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-call public API: run the full O2 pipeline — origin-sensitive
+/// pointer analysis (OPA), origin-sharing analysis (OSA), SHB graph
+/// construction, and the optimized race detector — over an OIR module.
+///
+/// \code
+///   std::unique_ptr<Module> M = parseModule(Source, Err);
+///   O2Analysis Result = analyzeModule(*M);
+///   Result.Races.print(outs(), *Result.PTA);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef O2_O2_H
+#define O2_O2_H
+
+#include "o2/OSA/SharingAnalysis.h"
+#include "o2/PTA/PointerAnalysis.h"
+#include "o2/Race/RaceDetector.h"
+#include "o2/SHB/SHBGraph.h"
+
+#include <memory>
+
+namespace o2 {
+
+class OutputStream;
+
+struct O2Config {
+  /// Pointer analysis configuration; defaults to 1-origin (OPA).
+  PTAOptions PTA;
+
+  /// Detector configuration (all three optimizations on by default).
+  RaceDetectorOptions Detector;
+
+  /// Also run OSA and include its result (requires origin sensitivity).
+  bool RunOSA = true;
+};
+
+/// Everything one O2 run produces, with per-phase wall-clock times the
+/// way the paper's tables report them.
+struct O2Analysis {
+  std::unique_ptr<PTAResult> PTA;
+  SharingResult Sharing;
+  SHBGraph SHB;
+  RaceReport Races;
+
+  double PTASeconds = 0;
+  double OSASeconds = 0;
+  double SHBSeconds = 0;
+  double DetectSeconds = 0;
+
+  double totalSeconds() const {
+    return PTASeconds + OSASeconds + SHBSeconds + DetectSeconds;
+  }
+
+  /// One-paragraph summary: phases, sizes, race count.
+  void printSummary(OutputStream &OS) const;
+};
+
+/// Runs the configured pipeline over \p M (which must verify).
+O2Analysis analyzeModule(const Module &M, const O2Config &Config = {});
+
+} // namespace o2
+
+#endif // O2_O2_H

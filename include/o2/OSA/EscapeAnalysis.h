@@ -1,0 +1,52 @@
+//===- o2/OSA/EscapeAnalysis.h - Thread-escape baseline -----------*- C++ -*-===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A classic thread-escape analysis in the style of the TLOA baseline the
+/// paper compares OSA against (Section 5.1.2): an object escapes if it is
+/// reachable from a global (static field), is an origin (thread/handler)
+/// object, or is passed into an origin's constructor or entry, closed
+/// under field reachability. Every access whose base may be an escaped
+/// object counts as thread-shared — with none of OSA's refinements
+/// (per-origin read/write sets, single-thread statics, array handling),
+/// so it over-approximates OSA.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef O2_OSA_ESCAPEANALYSIS_H
+#define O2_OSA_ESCAPEANALYSIS_H
+
+#include "o2/PTA/PointerAnalysis.h"
+#include "o2/Support/BitVector.h"
+
+namespace o2 {
+
+class EscapeResult {
+public:
+  bool isEscaped(unsigned Obj) const { return Escaped.test(Obj); }
+  const BitVector &escapedObjects() const { return Escaped; }
+  unsigned numEscapedObjects() const { return Escaped.count(); }
+
+  /// Number of access statements whose target may be thread-shared.
+  unsigned numSharedAccessStmts() const { return NumSharedAccessStmts; }
+  unsigned numAccessStmts() const { return NumAccessStmts; }
+
+private:
+  friend class EscapeAnalysis;
+
+  BitVector Escaped;
+  unsigned NumSharedAccessStmts = 0;
+  unsigned NumAccessStmts = 0;
+};
+
+/// Runs the escape analysis over any pointer-analysis result.
+EscapeResult runEscapeAnalysis(const PTAResult &PTA);
+
+} // namespace o2
+
+#endif // O2_OSA_ESCAPEANALYSIS_H

@@ -1,0 +1,96 @@
+//===- o2/OSA/SharingAnalysis.h - Origin-sharing analysis ---------*- C++ -*-===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OSA (paper Section 3.3, Algorithm 1): a linear scan over the reachable
+/// ⟨method, origin⟩ instances that computes, for every abstract memory
+/// location, the set of origins that read it and the set that write it.
+/// A location is origin-shared iff at least two origins access it and at
+/// least one of them writes. Compared to thread-escape analysis, OSA also
+/// says *how* a location is shared (which origins, reads vs writes),
+/// which the race detector consumes directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef O2_OSA_SHARINGANALYSIS_H
+#define O2_OSA_SHARINGANALYSIS_H
+
+#include "o2/OSA/MemLoc.h"
+#include "o2/PTA/PointerAnalysis.h"
+#include "o2/Support/BitVector.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace o2 {
+
+/// Read/write origin sets of one location.
+struct LocAccessSets {
+  BitVector ReadOrigins;
+  BitVector WriteOrigins;
+
+  /// Origin-shared: ≥2 accessing origins, ≥1 writer.
+  bool isShared() const {
+    if (WriteOrigins.none())
+      return false;
+    BitVector All = ReadOrigins;
+    All.unionWith(WriteOrigins);
+    return All.count() >= 2;
+  }
+};
+
+class SharingResult {
+public:
+  /// Access sets of \p Loc; null if the location is never accessed.
+  const LocAccessSets *get(MemLoc Loc) const {
+    auto It = Locs.find(Loc);
+    return It == Locs.end() ? nullptr : &It->second;
+  }
+
+  bool isShared(MemLoc Loc) const {
+    const LocAccessSets *S = get(Loc);
+    return S && S->isShared();
+  }
+
+  /// All origin-shared locations, sorted by key (deterministic).
+  const std::vector<MemLoc> &sharedLocations() const { return Shared; }
+
+  /// Number of distinct abstract objects with at least one shared
+  /// location (globals not included).
+  unsigned numSharedObjects() const { return NumSharedObjects; }
+
+  /// Number of access statements that may touch a shared location
+  /// (the paper's "#S-access").
+  unsigned numSharedAccessStmts() const { return NumSharedAccessStmts; }
+
+  /// Total number of access statements scanned.
+  unsigned numAccessStmts() const { return NumAccessStmts; }
+
+  /// True if the access statement with module-wide ID \p StmtId may touch
+  /// an origin-shared location.
+  bool isSharedAccess(unsigned StmtId) const {
+    return StmtId < SharedStmts.size() && SharedStmts.test(StmtId);
+  }
+
+private:
+  friend class SharingAnalysis;
+
+  std::unordered_map<MemLoc, LocAccessSets> Locs;
+  std::vector<MemLoc> Shared;
+  BitVector SharedStmts;
+  unsigned NumSharedObjects = 0;
+  unsigned NumSharedAccessStmts = 0;
+  unsigned NumAccessStmts = 0;
+};
+
+/// Runs OSA over an Origin-sensitive pointer-analysis result.
+SharingResult runSharingAnalysis(const PTAResult &PTA);
+
+} // namespace o2
+
+#endif // O2_OSA_SHARINGANALYSIS_H

@@ -1,0 +1,90 @@
+//===- o2/PTA/CallGraph.h - Materialized call graph ---------------*- C++ -*-===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A materialized view of the context-sensitive call graph the pointer
+/// analysis builds on the fly (the paper's origin-sensitive call graph of
+/// Figure 2(b) when run under OPA): one node per reachable
+/// ⟨function, context⟩ instance, one edge per resolved call, constructor,
+/// or spawn target. Provides adjacency queries and Graphviz export.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef O2_PTA_CALLGRAPH_H
+#define O2_PTA_CALLGRAPH_H
+
+#include "o2/PTA/PointerAnalysis.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace o2 {
+
+class OutputStream;
+
+class CallGraph {
+public:
+  struct Node {
+    unsigned Id = 0;
+    const Function *F = nullptr;
+    Ctx C = 0;
+  };
+
+  struct Edge {
+    unsigned Caller = 0;
+    unsigned Callee = 0;
+    const Stmt *Site = nullptr; ///< CallStmt, AllocStmt (ctor), or SpawnStmt
+    bool IsSpawn = false;
+  };
+
+  /// Materializes the call graph of \p PTA.
+  static CallGraph build(const PTAResult &PTA);
+
+  const std::vector<Node> &nodes() const { return Nodes; }
+  const std::vector<Edge> &edges() const { return Edges; }
+  unsigned numNodes() const { return static_cast<unsigned>(Nodes.size()); }
+  unsigned numEdges() const { return static_cast<unsigned>(Edges.size()); }
+
+  /// Node ID of ⟨F, C⟩, or ~0u if unreachable.
+  unsigned nodeId(const Function *F, Ctx C) const {
+    auto It = NodeIds.find(key(F, C));
+    return It == NodeIds.end() ? ~0u : It->second;
+  }
+
+  /// Outgoing edge indices of \p NodeIdx.
+  const std::vector<unsigned> &callees(unsigned NodeIdx) const {
+    return OutEdges[NodeIdx];
+  }
+
+  /// Incoming edge indices of \p NodeIdx.
+  const std::vector<unsigned> &callers(unsigned NodeIdx) const {
+    return InEdges[NodeIdx];
+  }
+
+  /// Distinct functions with at least one reachable instance, in first-
+  /// discovery order.
+  std::vector<const Function *> reachableFunctions() const;
+
+  /// Graphviz dump; spawn edges are bold, constructor edges dashed.
+  void printDot(OutputStream &OS, const PTAResult &PTA) const;
+
+private:
+  static uint64_t key(const Function *F, Ctx C) {
+    return (uint64_t(F->getId()) << 32) | C;
+  }
+
+  std::vector<Node> Nodes;
+  std::vector<Edge> Edges;
+  std::vector<std::vector<unsigned>> OutEdges;
+  std::vector<std::vector<unsigned>> InEdges;
+  std::unordered_map<uint64_t, unsigned> NodeIds;
+};
+
+} // namespace o2
+
+#endif // O2_PTA_CALLGRAPH_H

@@ -1,0 +1,65 @@
+//===- o2/Race/RacerDLike.h - Syntactic race detector baseline ----*- C++ -*-===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A RacerD-style compositional, syntactic detector used as the
+/// state-of-the-art baseline of Section 5: it reasons by field name and
+/// syntactic lock variables, with no pointer analysis, no heap contexts,
+/// and no happens-before. It reports (1) read/write race pairs and
+/// (2) unprotected writes, exactly the two report categories the paper
+/// translates into warning counts for the comparison tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef O2_RACE_RACERDLIKE_H
+#define O2_RACE_RACERDLIKE_H
+
+#include "o2/IR/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace o2 {
+
+class OutputStream;
+
+struct RacerDWarning {
+  enum class Kind { ReadWriteRace, UnprotectedWrite };
+  Kind WarningKind;
+  std::string Location; ///< field/global name the warning is about
+  const Stmt *A = nullptr;
+  const Stmt *B = nullptr; ///< null for unprotected writes
+};
+
+class RacerDReport {
+public:
+  const std::vector<RacerDWarning> &warnings() const { return Warnings; }
+
+  unsigned numWarnings() const {
+    return static_cast<unsigned>(Warnings.size());
+  }
+
+  /// The paper's comparison metric: read/write race pairs plus the
+  /// conflicting-pair count implied by unprotected-write reports.
+  unsigned numPotentialRaces() const { return NumPotentialRaces; }
+
+  void print(OutputStream &OS) const;
+
+private:
+  friend class RacerDLikeDetector;
+
+  std::vector<RacerDWarning> Warnings;
+  unsigned NumPotentialRaces = 0;
+};
+
+/// Runs the syntactic detector directly over the IR.
+RacerDReport runRacerDLike(const Module &M);
+
+} // namespace o2
+
+#endif // O2_RACE_RACERDLIKE_H

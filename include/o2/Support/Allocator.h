@@ -1,0 +1,102 @@
+//===- o2/Support/Allocator.h - Bump-pointer arena -------------*- C++ -*-===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BumpPtrAllocator: fast arena allocation for the long-lived, never-
+/// individually-freed objects that dominate a whole-program analysis (IR
+/// nodes, contexts, SHB events). StringSaver interns strings into it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef O2_SUPPORT_ALLOCATOR_H
+#define O2_SUPPORT_ALLOCATOR_H
+
+#include "o2/Support/Compiler.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace o2 {
+
+/// Allocates memory in large slabs and hands out aligned chunks by bumping
+/// a pointer. Individual deallocation is not supported; destruction of the
+/// allocator frees all slabs. Objects placed here must be trivially
+/// destructible or have their destructors run by the owner.
+class BumpPtrAllocator {
+public:
+  explicit BumpPtrAllocator(size_t SlabSize = 64 * 1024)
+      : SlabSize(SlabSize) {}
+
+  BumpPtrAllocator(const BumpPtrAllocator &) = delete;
+  BumpPtrAllocator &operator=(const BumpPtrAllocator &) = delete;
+
+  void *allocate(size_t Size, size_t Alignment) {
+    assert(Alignment > 0 && (Alignment & (Alignment - 1)) == 0 &&
+           "alignment must be a power of two");
+    uintptr_t Aligned = (Cur + Alignment - 1) & ~(Alignment - 1);
+    if (O2_UNLIKELY(Aligned + Size > End)) {
+      startNewSlab(Size + Alignment);
+      Aligned = (Cur + Alignment - 1) & ~(Alignment - 1);
+    }
+    Cur = Aligned + Size;
+    BytesAllocated += Size;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  template <typename T> T *allocate(size_t Num = 1) {
+    return static_cast<T *>(allocate(Num * sizeof(T), alignof(T)));
+  }
+
+  /// Constructs a T in the arena. The destructor will NOT be run.
+  template <typename T, typename... ArgTypes> T *create(ArgTypes &&...Args) {
+    return ::new (allocate<T>()) T(std::forward<ArgTypes>(Args)...);
+  }
+
+  size_t bytesAllocated() const { return BytesAllocated; }
+  size_t numSlabs() const { return Slabs.size(); }
+
+private:
+  void startNewSlab(size_t MinSize) {
+    size_t Size = std::max(SlabSize, MinSize);
+    Slabs.push_back(std::make_unique<std::byte[]>(Size));
+    Cur = reinterpret_cast<uintptr_t>(Slabs.back().get());
+    End = Cur + Size;
+  }
+
+  size_t SlabSize;
+  uintptr_t Cur = 0;
+  uintptr_t End = 0;
+  size_t BytesAllocated = 0;
+  std::vector<std::unique_ptr<std::byte[]>> Slabs;
+};
+
+/// Copies strings into a BumpPtrAllocator so callers can keep cheap,
+/// stable string_views without owning storage.
+class StringSaver {
+public:
+  explicit StringSaver(BumpPtrAllocator &Alloc) : Alloc(Alloc) {}
+
+  std::string_view save(std::string_view S) {
+    char *Mem = Alloc.allocate<char>(S.size() + 1);
+    std::memcpy(Mem, S.data(), S.size());
+    Mem[S.size()] = '\0';
+    return std::string_view(Mem, S.size());
+  }
+
+private:
+  BumpPtrAllocator &Alloc;
+};
+
+} // namespace o2
+
+#endif // O2_SUPPORT_ALLOCATOR_H

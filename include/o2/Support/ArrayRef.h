@@ -1,0 +1,105 @@
+//===- o2/Support/ArrayRef.h - Constant reference to an array --*- C++ -*-===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A non-owning view over a contiguous sequence, in the spirit of
+/// llvm::ArrayRef. Always pass by value; never store one beyond the
+/// lifetime of the underlying storage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef O2_SUPPORT_ARRAYREF_H
+#define O2_SUPPORT_ARRAYREF_H
+
+#include "o2/Support/SmallVector.h"
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace o2 {
+
+template <typename T> class ArrayRef {
+public:
+  using value_type = T;
+  using iterator = const T *;
+  using const_iterator = const T *;
+
+  ArrayRef() = default;
+  ArrayRef(const T *Data, size_t Length) : Data(Data), Length(Length) {}
+  ArrayRef(const T *First, const T *Last)
+      : Data(First), Length(static_cast<size_t>(Last - First)) {}
+  ArrayRef(const std::vector<T> &Vec) : Data(Vec.data()), Length(Vec.size()) {}
+  ArrayRef(const SmallVectorImpl<T> &Vec)
+      : Data(Vec.data()), Length(Vec.size()) {}
+  /// Constructs from an initializer list. As in llvm::ArrayRef, the view
+  /// is only valid for the lifetime of the initializer list expression —
+  /// i.e. as a by-value function argument.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+#endif
+  ArrayRef(std::initializer_list<T> IL)
+      : Data(IL.begin() == IL.end() ? nullptr : IL.begin()),
+        Length(IL.size()) {}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  template <size_t N>
+  constexpr ArrayRef(const T (&Arr)[N]) : Data(Arr), Length(N) {}
+  /// A single element viewed as a one-element array.
+  ArrayRef(const T &OneElt) : Data(&OneElt), Length(1) {}
+
+  iterator begin() const { return Data; }
+  iterator end() const { return Data + Length; }
+  size_t size() const { return Length; }
+  bool empty() const { return Length == 0; }
+  const T *data() const { return Data; }
+
+  const T &operator[](size_t Idx) const {
+    assert(Idx < Length && "ArrayRef index out of range");
+    return Data[Idx];
+  }
+
+  const T &front() const {
+    assert(!empty() && "front() on empty ArrayRef");
+    return Data[0];
+  }
+  const T &back() const {
+    assert(!empty() && "back() on empty ArrayRef");
+    return Data[Length - 1];
+  }
+
+  /// Returns the sub-array [Start, Start+N).
+  ArrayRef<T> slice(size_t Start, size_t N) const {
+    assert(Start + N <= size() && "slice() out of range");
+    return ArrayRef<T>(data() + Start, N);
+  }
+
+  ArrayRef<T> drop_front(size_t N = 1) const {
+    assert(size() >= N && "drop_front() out of range");
+    return slice(N, size() - N);
+  }
+
+  bool equals(ArrayRef RHS) const {
+    return Length == RHS.Length && std::equal(begin(), end(), RHS.begin());
+  }
+
+private:
+  const T *Data = nullptr;
+  size_t Length = 0;
+};
+
+template <typename T> bool operator==(ArrayRef<T> LHS, ArrayRef<T> RHS) {
+  return LHS.equals(RHS);
+}
+
+} // namespace o2
+
+#endif // O2_SUPPORT_ARRAYREF_H

@@ -1,0 +1,104 @@
+//===- o2/Support/Casting.h - isa/cast/dyn_cast templates ------*- C++ -*-===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style hand-rolled RTTI: isa<>, cast<>, dyn_cast<> and the
+/// *_if_present variants. Classes opt in by providing a static
+/// classof(const Base *) predicate, typically dispatching on a kind tag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef O2_SUPPORT_CASTING_H
+#define O2_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace o2 {
+
+namespace detail {
+
+template <typename To, typename From> struct IsaImpl {
+  static bool doit(const From &Val) { return To::classof(&Val); }
+};
+
+/// Casting to the same (or a base) type is always valid and needs no
+/// classof() on the target.
+template <typename To, typename From>
+  requires std::is_base_of_v<To, From>
+struct IsaImpl<To, From> {
+  static bool doit(const From &) { return true; }
+};
+
+} // namespace detail
+
+/// Returns true if \p Val is an instance of (any of) the template type(s).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return detail::IsaImpl<To, From>::doit(*Val);
+}
+
+template <typename To, typename From>
+  requires(!std::is_pointer_v<From>)
+bool isa(const From &Val) {
+  return detail::IsaImpl<To, From>::doit(Val);
+}
+
+/// Variadic form: isa<A, B, C>(V) is isa<A>(V) || isa<B>(V) || isa<C>(V).
+template <typename First, typename Second, typename... Rest, typename From>
+bool isa(const From *Val) {
+  return isa<First>(Val) || isa<Second, Rest...>(Val);
+}
+
+/// Checked cast: asserts that \p Val really is a To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To &cast(From &Val) {
+  assert(isa<To>(&Val) && "cast<> argument of incompatible type");
+  return static_cast<To &>(Val);
+}
+
+template <typename To, typename From> const To &cast(const From &Val) {
+  assert(isa<To>(&Val) && "cast<> argument of incompatible type");
+  return static_cast<const To &>(Val);
+}
+
+/// Checking cast: returns null if \p Val is not a To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Null-tolerant variants.
+template <typename To, typename From> bool isa_and_present(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_if_present(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace o2
+
+#endif // O2_SUPPORT_CASTING_H

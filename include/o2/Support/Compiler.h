@@ -1,0 +1,50 @@
+//===- o2/Support/Compiler.h - Compiler/portability helpers ----*- C++ -*-===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small portability macros used throughout the O2 libraries, mirroring the
+/// subset of llvm/Support/Compiler.h that this project needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef O2_SUPPORT_COMPILER_H
+#define O2_SUPPORT_COMPILER_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace o2 {
+
+/// Reports a fatal internal error and aborts.
+///
+/// Used for invariant violations that must be diagnosed even in builds with
+/// assertions disabled.
+[[noreturn]] inline void reportFatalInternalError(const char *Msg,
+                                                  const char *File,
+                                                  unsigned Line) {
+  std::fprintf(stderr, "o2 fatal error: %s (%s:%u)\n", Msg, File, Line);
+  std::abort();
+}
+
+} // namespace o2
+
+/// Marks a point in control flow that must never be reached.
+#define O2_UNREACHABLE(Msg)                                                    \
+  ::o2::reportFatalInternalError("unreachable executed: " Msg, __FILE__,       \
+                                 __LINE__)
+
+#if defined(__GNUC__) || defined(__clang__)
+#define O2_LIKELY(X) __builtin_expect(static_cast<bool>(X), true)
+#define O2_UNLIKELY(X) __builtin_expect(static_cast<bool>(X), false)
+#else
+#define O2_LIKELY(X) (X)
+#define O2_UNLIKELY(X) (X)
+#endif
+
+#endif // O2_SUPPORT_COMPILER_H

@@ -1,0 +1,99 @@
+//===- o2/Support/OutputStream.h - Lightweight output streams --*- C++ -*-===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal raw_ostream replacement: library code never includes
+/// <iostream> (which injects static constructors). outs()/errs() wrap
+/// stdout/stderr; StringOutputStream renders into a std::string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef O2_SUPPORT_OUTPUTSTREAM_H
+#define O2_SUPPORT_OUTPUTSTREAM_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace o2 {
+
+/// Abstract byte sink with formatting operators for the types O2 prints.
+class OutputStream {
+public:
+  virtual ~OutputStream();
+
+  OutputStream &operator<<(std::string_view S) {
+    write(S.data(), S.size());
+    return *this;
+  }
+
+  OutputStream &operator<<(const char *S) {
+    return *this << std::string_view(S);
+  }
+
+  OutputStream &operator<<(const std::string &S) {
+    return *this << std::string_view(S);
+  }
+
+  OutputStream &operator<<(char C) {
+    write(&C, 1);
+    return *this;
+  }
+
+  OutputStream &operator<<(uint64_t N);
+  OutputStream &operator<<(int64_t N);
+  OutputStream &operator<<(uint32_t N) { return *this << uint64_t(N); }
+  OutputStream &operator<<(int32_t N) { return *this << int64_t(N); }
+  OutputStream &operator<<(double D);
+  OutputStream &operator<<(bool B) { return *this << (B ? "true" : "false"); }
+
+  /// Writes \p Size bytes starting at \p Data.
+  virtual void write(const char *Data, size_t Size) = 0;
+
+  /// Indents by \p NumSpaces spaces.
+  OutputStream &indent(unsigned NumSpaces);
+};
+
+/// Stream that appends to a caller-owned std::string.
+class StringOutputStream : public OutputStream {
+public:
+  explicit StringOutputStream(std::string &Buffer) : Buffer(Buffer) {}
+
+  void write(const char *Data, size_t Size) override {
+    Buffer.append(Data, Size);
+  }
+
+  const std::string &str() const { return Buffer; }
+
+private:
+  std::string &Buffer;
+};
+
+/// Stream over a C FILE*. Does not own the file.
+class FileOutputStream : public OutputStream {
+public:
+  explicit FileOutputStream(std::FILE *File) : File(File) {}
+
+  void write(const char *Data, size_t Size) override {
+    std::fwrite(Data, 1, Size, File);
+  }
+
+private:
+  std::FILE *File;
+};
+
+/// Returns a stream for standard output.
+OutputStream &outs();
+
+/// Returns a stream for standard error.
+OutputStream &errs();
+
+} // namespace o2
+
+#endif // O2_SUPPORT_OUTPUTSTREAM_H

@@ -1,0 +1,44 @@
+//===- o2/Support/Timer.h - Wall-clock timing -------------------*- C++ -*-===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A trivial wall-clock stopwatch used by the benchmark harnesses to report
+/// per-phase times the way the paper's tables do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef O2_SUPPORT_TIMER_H
+#define O2_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace o2 {
+
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last reset().
+  double millis() const { return seconds() * 1000.0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace o2
+
+#endif // O2_SUPPORT_TIMER_H

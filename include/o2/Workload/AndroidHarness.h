@@ -1,0 +1,57 @@
+//===- o2/Workload/AndroidHarness.h - Android analysis harness ----*- C++ -*-===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Android apps have no explicit main(); the paper (Section 4.2)
+/// generates an analysis harness from the app's main Activity: lifecycle
+/// handlers (onCreate/onStart/onResume/...) run as ordinary method calls
+/// on the looper thread, normal event handlers become origin entries,
+/// and activities reachable through startActivity() get their own
+/// harness. This module synthesizes that harness into the module as the
+/// missing main().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef O2_WORKLOAD_ANDROIDHARNESS_H
+#define O2_WORKLOAD_ANDROIDHARNESS_H
+
+#include "o2/IR/Module.h"
+#include "o2/PTA/OriginSpec.h"
+
+#include <string>
+#include <vector>
+
+namespace o2 {
+
+struct AndroidHarnessOptions {
+  /// Lifecycle handlers invoked in order as plain calls (no origins).
+  std::vector<std::string> LifecycleMethods = {"onCreate", "onStart",
+                                               "onResume"};
+
+  /// Entry-point registry used to find event handlers to spawn.
+  OriginSpec Spec = OriginSpec::standard();
+
+  /// Name of the direct-call "startActivity" function; classes allocated
+  /// as its argument are activities and get harnessed too.
+  std::string StartActivityFunction = "startActivity";
+};
+
+/// Synthesizes main() for the app whose home screen is \p MainActivity
+/// (the class named in AndroidManifest.xml). Returns the created main,
+/// or null if the module already has one or the class does not exist.
+///
+/// The harness allocates the activity (running its constructor), calls
+/// its lifecycle methods in order, and spawns each of its event-handler
+/// entry methods. Activities started transitively via the
+/// startActivity() convention are harnessed the same way.
+Function *buildAndroidHarness(Module &M, const std::string &MainActivity,
+                              const AndroidHarnessOptions &Opts = {});
+
+} // namespace o2
+
+#endif // O2_WORKLOAD_ANDROIDHARNESS_H

@@ -1,0 +1,149 @@
+//===- Module.cpp - OIR module, types, and functions ----------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/IR/Module.h"
+
+#include "o2/Support/Compiler.h"
+
+using namespace o2;
+
+//===----------------------------------------------------------------------===//
+// ClassType
+//===----------------------------------------------------------------------===//
+
+Field *ClassType::addField(const std::string &FieldName, Type *Ty,
+                           bool IsAtomic) {
+  assert(!findField(FieldName) && "field redeclared along superclass chain");
+  Fields.push_back(std::make_unique<Field>(
+      FieldName, Ty, this, ParentModule.takeFieldId(), IsAtomic));
+  return Fields.back().get();
+}
+
+void ClassType::addMethod(Function *Method) {
+  assert(Method && "null method");
+  assert(!Method->isMethod() && "function already attached to a class");
+  Method->setClass(this);
+  Methods.push_back(Method);
+}
+
+Field *ClassType::findField(const std::string &FieldName) const {
+  for (const ClassType *C = this; C; C = C->Super)
+    for (const auto &F : C->Fields)
+      if (F->getName() == FieldName)
+        return F.get();
+  return nullptr;
+}
+
+Function *ClassType::findMethod(const std::string &MethodName) const {
+  for (const ClassType *C = this; C; C = C->Super)
+    for (Function *M : C->Methods)
+      if (M->getName() == MethodName)
+        return M;
+  return nullptr;
+}
+
+bool ClassType::isSubclassOf(const ClassType *Other) const {
+  for (const ClassType *C = this; C; C = C->Super)
+    if (C == Other)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Function
+//===----------------------------------------------------------------------===//
+
+Variable *Function::addParam(const std::string &ParamName, Type *Ty) {
+  assert(!findVariable(ParamName) && "parameter name already in use");
+  Vars.push_back(std::make_unique<Variable>(
+      ParamName, Ty, this, ParentModule.takeVarId(), /*IsParam=*/true));
+  Params.push_back(Vars.back().get());
+  return Vars.back().get();
+}
+
+Variable *Function::addLocal(const std::string &LocalName, Type *Ty) {
+  assert(!findVariable(LocalName) && "local name already in use");
+  Vars.push_back(std::make_unique<Variable>(
+      LocalName, Ty, this, ParentModule.takeVarId(), /*IsParam=*/false));
+  return Vars.back().get();
+}
+
+Variable *Function::getReturnVar() {
+  if (!RetTy)
+    return nullptr;
+  if (!RetVar) {
+    Vars.push_back(std::make_unique<Variable>(
+        "$ret", RetTy, this, ParentModule.takeVarId(), /*IsParam=*/false));
+    RetVar = Vars.back().get();
+  }
+  return RetVar;
+}
+
+Variable *Function::findVariable(const std::string &VarName) const {
+  for (const auto &V : Vars)
+    if (V->getName() == VarName)
+      return V.get();
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Module
+//===----------------------------------------------------------------------===//
+
+ClassType *Module::addClass(const std::string &ClassName, ClassType *Super) {
+  assert(!findClass(ClassName) && "class name already in use");
+  Classes.push_back(std::make_unique<ClassType>(ClassName, Super, *this));
+  ClassByName[ClassName] = Classes.back().get();
+  return Classes.back().get();
+}
+
+ArrayType *Module::getArrayType(Type *Elem) {
+  auto &Slot = ArrayTypes[Elem];
+  if (!Slot)
+    Slot = std::make_unique<ArrayType>(Elem);
+  return Slot.get();
+}
+
+Global *Module::addGlobal(const std::string &GlobalName, Type *Ty,
+                          bool IsAtomic) {
+  assert(!findGlobal(GlobalName) && "global name already in use");
+  Globals.push_back(std::make_unique<Global>(
+      GlobalName, Ty, static_cast<unsigned>(Globals.size()), IsAtomic));
+  GlobalByName[GlobalName] = Globals.back().get();
+  return Globals.back().get();
+}
+
+Function *Module::addFunction(const std::string &FuncName, Type *RetTy) {
+  Functions.push_back(
+      std::make_unique<Function>(FuncName, RetTy, *this, NextFuncId++));
+  return Functions.back().get();
+}
+
+ClassType *Module::findClass(const std::string &ClassName) const {
+  auto It = ClassByName.find(ClassName);
+  return It == ClassByName.end() ? nullptr : It->second;
+}
+
+Global *Module::findGlobal(const std::string &GlobalName) const {
+  auto It = GlobalByName.find(GlobalName);
+  return It == GlobalByName.end() ? nullptr : It->second;
+}
+
+Function *Module::findFunction(const std::string &FuncName) const {
+  for (const auto &F : Functions)
+    if (!F->isMethod() && F->getName() == FuncName)
+      return F.get();
+  return nullptr;
+}
+
+unsigned Module::numProgramStmts() const {
+  unsigned N = 0;
+  for (const auto &F : Functions)
+    N += static_cast<unsigned>(F->size());
+  return N;
+}

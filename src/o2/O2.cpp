@@ -1,0 +1,56 @@
+//===- O2.cpp - O2 public facade ---------------------------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/O2.h"
+
+#include "o2/Support/OutputStream.h"
+#include "o2/Support/Timer.h"
+
+using namespace o2;
+
+O2Analysis o2::analyzeModule(const Module &M, const O2Config &Config) {
+  O2Analysis Result;
+
+  Timer T;
+  Result.PTA = runPointerAnalysis(M, Config.PTA);
+  Result.PTASeconds = T.seconds();
+
+  if (Config.RunOSA && Config.PTA.Kind == ContextKind::Origin) {
+    T.reset();
+    Result.Sharing = runSharingAnalysis(*Result.PTA);
+    Result.OSASeconds = T.seconds();
+  }
+
+  T.reset();
+  Result.SHB = buildSHBGraph(*Result.PTA, Config.Detector.SHB);
+  Result.SHBSeconds = T.seconds();
+
+  T.reset();
+  Result.Races = detectRaces(*Result.PTA, Result.SHB, Config.Detector);
+  Result.DetectSeconds = T.seconds();
+
+  return Result;
+}
+
+void O2Analysis::printSummary(OutputStream &OS) const {
+  OS << "O2 analysis of '" << PTA->module().getName() << "' ("
+     << PTA->options().name() << ")\n";
+  OS << "  pointer analysis: " << PTA->stats().get("pta.pointer-nodes")
+     << " nodes, " << PTA->stats().get("pta.objects") << " objects, "
+     << PTA->stats().get("pta.copy-edges") << " edges, "
+     << PTA->stats().get("pta.origins") << " origins ("
+     << PTASeconds << "s)\n";
+  OS << "  sharing: " << Sharing.sharedLocations().size()
+     << " shared locations over " << Sharing.numSharedObjects()
+     << " objects, " << Sharing.numSharedAccessStmts() << "/"
+     << Sharing.numAccessStmts() << " shared accesses (" << OSASeconds
+     << "s)\n";
+  OS << "  SHB: " << SHB.numThreads() << " threads, "
+     << SHB.numAccessEvents() << " access events (" << SHBSeconds << "s)\n";
+  OS << "  races: " << Races.numRaces() << " (" << DetectSeconds << "s)\n";
+}

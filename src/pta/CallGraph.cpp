@@ -1,0 +1,74 @@
+//===- CallGraph.cpp - Materialized call graph ---------------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/PTA/CallGraph.h"
+
+#include "o2/Support/Casting.h"
+#include "o2/Support/OutputStream.h"
+
+#include <set>
+
+using namespace o2;
+
+CallGraph CallGraph::build(const PTAResult &PTA) {
+  CallGraph G;
+  for (const auto &[F, C] : PTA.instances()) {
+    unsigned Id = static_cast<unsigned>(G.Nodes.size());
+    G.Nodes.push_back({Id, F, C});
+    G.NodeIds.emplace(key(F, C), Id);
+  }
+  G.OutEdges.resize(G.Nodes.size());
+  G.InEdges.resize(G.Nodes.size());
+
+  for (const Node &N : G.Nodes) {
+    for (const auto &SPtr : N.F->body()) {
+      const Stmt &S = *SPtr;
+      if (!isa<CallStmt, AllocStmt, SpawnStmt>(&S))
+        continue;
+      for (const CallTarget &T : PTA.callTargets(&S, N.C)) {
+        unsigned CalleeId = G.nodeId(T.Callee, T.CalleeCtx);
+        if (CalleeId == ~0u)
+          continue; // target never processed (budget cut)
+        unsigned EdgeIdx = static_cast<unsigned>(G.Edges.size());
+        G.Edges.push_back({N.Id, CalleeId, &S, isa<SpawnStmt>(&S)});
+        G.OutEdges[N.Id].push_back(EdgeIdx);
+        G.InEdges[CalleeId].push_back(EdgeIdx);
+      }
+    }
+  }
+  return G;
+}
+
+std::vector<const Function *> CallGraph::reachableFunctions() const {
+  std::vector<const Function *> Result;
+  std::set<const Function *> Seen;
+  for (const Node &N : Nodes)
+    if (Seen.insert(N.F).second)
+      Result.push_back(N.F);
+  return Result;
+}
+
+void CallGraph::printDot(OutputStream &OS, const PTAResult &PTA) const {
+  OS << "digraph callgraph {\n";
+  OS << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (const Node &N : Nodes) {
+    OS << "  n" << N.Id << " [label=\"";
+    if (N.F->getClass())
+      OS << N.F->getClass()->getName() << "::";
+    OS << N.F->getName() << "\\n" << PTA.ctxToString(N.C) << "\"];\n";
+  }
+  for (const Edge &E : Edges) {
+    OS << "  n" << E.Caller << " -> n" << E.Callee;
+    if (E.IsSpawn)
+      OS << " [style=bold, color=red, label=\"spawn\"]";
+    else if (isa<AllocStmt>(E.Site))
+      OS << " [style=dashed, label=\"new\"]";
+    OS << ";\n";
+  }
+  OS << "}\n";
+}

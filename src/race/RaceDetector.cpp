@@ -1,0 +1,267 @@
+//===- RaceDetector.cpp - Static race detection ----------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/Race/RaceDetector.h"
+
+#include "o2/IR/Printer.h"
+#include "o2/Support/Casting.h"
+#include "o2/Support/JSONWriter.h"
+#include "o2/Support/OutputStream.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+using namespace o2;
+
+namespace o2 {
+
+class RaceDetector {
+public:
+  RaceDetector(const PTAResult &PTA, const SHBGraph &SHB,
+               const RaceDetectorOptions &Opts)
+      : PTA(PTA), SHB(SHB), Opts(Opts) {}
+
+  RaceReport run() {
+    collectCandidates();
+    for (auto &[Loc, Accesses] : Candidates) {
+      if (PairsChecked >= Opts.MaxPairChecks) {
+        R.Stats.set("race.budget-hit", 1);
+        break;
+      }
+      checkLocation(Loc, Accesses);
+    }
+    finalize();
+    return std::move(R);
+  }
+
+private:
+  /// A (possibly region-merged) access considered for race pairing.
+  struct CandidateAccess {
+    const AccessEvent *E;
+  };
+
+  /// Shared-location filter over the traces: a location is a candidate if
+  /// at least two threads access it and at least one writes.
+  void collectCandidates() {
+    struct LocInfo {
+      BitVector ReadThreads;
+      BitVector WriteThreads;
+      std::vector<const AccessEvent *> Accesses;
+    };
+    std::map<MemLoc, LocInfo> Infos;
+    for (const ThreadInfo &T : SHB.threads()) {
+      for (const AccessEvent &E : T.Accesses) {
+        for (const MemLoc &Loc : E.Locs) {
+          LocInfo &I = Infos[Loc];
+          if (E.IsWrite)
+            I.WriteThreads.set(E.Thread);
+          else
+            I.ReadThreads.set(E.Thread);
+          I.Accesses.push_back(&E);
+        }
+      }
+    }
+    std::set<unsigned> SharedObjects;
+    for (auto &[Loc, I] : Infos) {
+      if (Opts.HandleAtomics && isAtomicLoc(Loc))
+        continue;
+      if (I.WriteThreads.none())
+        continue;
+      BitVector All = I.ReadThreads;
+      All.unionWith(I.WriteThreads);
+      if (All.count() < 2)
+        continue;
+      if (!Loc.isGlobal())
+        SharedObjects.insert(Loc.object());
+      Candidates.emplace_back(Loc, std::move(I.Accesses));
+    }
+    R.Stats.set("race.shared-locations", Candidates.size());
+    R.Stats.set("race.shared-objects", SharedObjects.size());
+    R.Stats.set("race.threads", SHB.numThreads());
+    R.Stats.set("race.access-events", SHB.numAccessEvents());
+  }
+
+  /// True if \p Loc is an `atomic` field or global: a synchronization
+  /// location, not data.
+  bool isAtomicLoc(MemLoc Loc) const {
+    if (Loc.isGlobal())
+      return PTA.module().globals()[Loc.globalId()]->isAtomic();
+    FieldKey FK = Loc.fieldKey();
+    if (FK == ArrayElemKey)
+      return false;
+    const ObjInfo &O = PTA.object(Loc.object());
+    if (const auto *Cls = dyn_cast<ClassType>(O.AllocatedType))
+      for (const ClassType *C = Cls; C; C = C->getSuper())
+        for (const auto &F : C->fields())
+          if (fieldKeyOf(F.get()) == FK)
+            return F->isAtomic();
+    return false;
+  }
+
+  /// Optimization 3: within one thread, all accesses to \p Loc inside the
+  /// same sync-free lock region with the same lockset have identical
+  /// happens-before and lockset behaviour — keep one representative.
+  std::vector<const AccessEvent *>
+  mergeByLockRegion(MemLoc Loc, const std::vector<const AccessEvent *> &In) {
+    (void)Loc;
+    std::vector<const AccessEvent *> Out;
+    std::map<std::tuple<uint32_t, uint32_t, LocksetId, bool>, bool> Seen;
+    for (const AccessEvent *E : In) {
+      if (E->LockRegion == 0 || E->RegionHasSync) {
+        Out.push_back(E);
+        continue;
+      }
+      auto Key = std::make_tuple(E->Thread, E->LockRegion, E->Lockset,
+                                 E->IsWrite);
+      if (Seen.emplace(Key, true).second)
+        Out.push_back(E);
+      else
+        R.Stats.add("race.merged-accesses");
+    }
+    return Out;
+  }
+
+  bool locksetsIntersect(LocksetId A, LocksetId B) {
+    R.Stats.add("race.lockset-checks");
+    return Opts.CacheLocksetChecks ? SHB.locksetsIntersect(A, B)
+                                   : SHB.locksetsIntersectUncached(A, B);
+  }
+
+  bool happensBefore(const AccessEvent &A, const AccessEvent &B) {
+    R.Stats.add("race.hb-queries");
+    return Opts.IntegerHB
+               ? SHB.happensBefore(A.Thread, A.Pos, B.Thread, B.Pos)
+               : SHB.happensBeforeNaive(A.Thread, A.Pos, B.Thread, B.Pos);
+  }
+
+  void checkLocation(MemLoc Loc,
+                     const std::vector<const AccessEvent *> &AllAccesses) {
+    std::vector<const AccessEvent *> Accesses =
+        Opts.LockRegionMerging ? mergeByLockRegion(Loc, AllAccesses)
+                               : AllAccesses;
+    for (size_t I = 0; I < Accesses.size(); ++I) {
+      for (size_t J = I + 1; J < Accesses.size(); ++J) {
+        const AccessEvent &A = *Accesses[I];
+        const AccessEvent &B = *Accesses[J];
+        if (A.Thread == B.Thread)
+          continue;
+        if (!A.IsWrite && !B.IsWrite)
+          continue;
+        if (++PairsChecked > Opts.MaxPairChecks)
+          return;
+        R.Stats.add("race.pairs-checked");
+        if (locksetsIntersect(A.Lockset, B.Lockset))
+          continue;
+        if (happensBefore(A, B) || happensBefore(B, A))
+          continue;
+        recordRace(Loc, A, B);
+      }
+    }
+  }
+
+  void recordRace(MemLoc Loc, const AccessEvent &A, const AccessEvent &B) {
+    const Stmt *SA = A.S, *SB = B.S;
+    const AccessEvent *EA = &A, *EB = &B;
+    if (SA->getId() > SB->getId()) {
+      std::swap(SA, SB);
+      std::swap(EA, EB);
+    }
+    if (!ReportedPairs.insert({SA->getId(), SB->getId()}).second)
+      return;
+    Race Rc;
+    Rc.Loc = Loc;
+    Rc.A = SA;
+    Rc.B = SB;
+    Rc.ThreadA = EA->Thread;
+    Rc.ThreadB = EB->Thread;
+    Rc.AIsWrite = EA->IsWrite;
+    Rc.BIsWrite = EB->IsWrite;
+    R.Races.push_back(Rc);
+  }
+
+  void finalize() {
+    std::sort(R.Races.begin(), R.Races.end(),
+              [](const Race &X, const Race &Y) {
+                if (X.A->getId() != Y.A->getId())
+                  return X.A->getId() < Y.A->getId();
+                return X.B->getId() < Y.B->getId();
+              });
+    R.Stats.set("race.races", R.Races.size());
+  }
+
+  const PTAResult &PTA;
+  const SHBGraph &SHB;
+  RaceDetectorOptions Opts;
+  RaceReport R;
+  std::vector<std::pair<MemLoc, std::vector<const AccessEvent *>>> Candidates;
+  std::set<std::pair<unsigned, unsigned>> ReportedPairs;
+  uint64_t PairsChecked = 0;
+};
+
+} // namespace o2
+
+void RaceReport::print(OutputStream &OS, const PTAResult &PTA) const {
+  OS << "==== " << Races.size() << " race(s) ====\n";
+  for (const Race &Rc : Races) {
+    OS << "race on " << Rc.Loc.toString(PTA) << ":\n";
+    OS << "  " << (Rc.AIsWrite ? "write" : "read ") << " '"
+       << printStmt(*Rc.A) << "' in "
+       << Rc.A->getFunction()->getName() << " [thread " << Rc.ThreadA
+       << "]\n";
+    OS << "  " << (Rc.BIsWrite ? "write" : "read ") << " '"
+       << printStmt(*Rc.B) << "' in "
+       << Rc.B->getFunction()->getName() << " [thread " << Rc.ThreadB
+       << "]\n";
+  }
+}
+
+void RaceReport::printJSON(OutputStream &OS, const PTAResult &PTA) const {
+  JSONWriter W(OS);
+  W.beginObject();
+  W.key("races");
+  W.beginArray();
+  for (const Race &Rc : Races) {
+    W.beginObject();
+    W.attribute("location", Rc.Loc.toString(PTA));
+    W.key("first");
+    W.beginObject();
+    W.attribute("stmt", printStmt(*Rc.A));
+    W.attribute("function", Rc.A->getFunction()->getName());
+    W.attribute("thread", Rc.ThreadA);
+    W.attribute("write", Rc.AIsWrite);
+    W.endObject();
+    W.key("second");
+    W.beginObject();
+    W.attribute("stmt", printStmt(*Rc.B));
+    W.attribute("function", Rc.B->getFunction()->getName());
+    W.attribute("thread", Rc.ThreadB);
+    W.attribute("write", Rc.BIsWrite);
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray();
+  W.key("stats");
+  W.beginObject();
+  for (const auto &[Name, Value] : Stats.counters())
+    W.attribute(Name, Value);
+  W.endObject();
+  W.endObject();
+  OS << '\n';
+}
+
+RaceReport o2::detectRaces(const PTAResult &PTA, const SHBGraph &SHB,
+                           const RaceDetectorOptions &Opts) {
+  return RaceDetector(PTA, SHB, Opts).run();
+}
+
+RaceReport o2::detectRaces(const PTAResult &PTA,
+                           const RaceDetectorOptions &Opts) {
+  SHBGraph SHB = buildSHBGraph(PTA, Opts.SHB);
+  return RaceDetector(PTA, SHB, Opts).run();
+}

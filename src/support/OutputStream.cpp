@@ -1,0 +1,61 @@
+//===- OutputStream.cpp - Lightweight output streams ---------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/Support/OutputStream.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace o2;
+
+OutputStream::~OutputStream() = default;
+
+OutputStream &OutputStream::operator<<(uint64_t N) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRIu64, N);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+OutputStream &OutputStream::operator<<(int64_t N) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRId64, N);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+OutputStream &OutputStream::operator<<(double D) {
+  char Buf[40];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%g", D);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+OutputStream &OutputStream::indent(unsigned NumSpaces) {
+  static const char Spaces[] = "                                ";
+  while (NumSpaces > 0) {
+    unsigned Chunk = NumSpaces < 32 ? NumSpaces : 32;
+    write(Spaces, Chunk);
+    NumSpaces -= Chunk;
+  }
+  return *this;
+}
+
+namespace o2 {
+
+OutputStream &outs() {
+  static FileOutputStream Stream(stdout);
+  return Stream;
+}
+
+OutputStream &errs() {
+  static FileOutputStream Stream(stderr);
+  return Stream;
+}
+
+} // namespace o2

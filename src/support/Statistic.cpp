@@ -1,0 +1,21 @@
+//===- Statistic.cpp - Analysis statistics --------------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/Support/Statistic.h"
+
+#include "o2/Support/OutputStream.h"
+
+using namespace o2;
+
+void StatisticRegistry::print(OutputStream &OS) const {
+  for (const auto &[Name, Value] : Counters) {
+    OS << Value;
+    OS.indent(2);
+    OS << Name << '\n';
+  }
+}

@@ -1,0 +1,91 @@
+//===- AndroidHarness.cpp - Android analysis harness ---------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/Workload/AndroidHarness.h"
+
+#include "o2/IR/IRBuilder.h"
+#include "o2/Support/Casting.h"
+
+#include <deque>
+#include <set>
+
+using namespace o2;
+
+/// True if the activity method can be invoked with no explicit arguments.
+static bool isNullary(const Function *F) { return F->params().size() == 1; }
+
+/// Collects every class whose allocation flows into a call of the
+/// startActivity() convention function anywhere in the module.
+static std::vector<ClassType *>
+startedActivities(const Module &M, const std::string &StartActivityFn) {
+  std::vector<ClassType *> Result;
+  std::set<ClassType *> Seen;
+  for (const auto &F : M.functions()) {
+    for (const auto &SPtr : F->body()) {
+      const auto *Call = dyn_cast<CallStmt>(SPtr.get());
+      if (!Call || Call->isVirtual() ||
+          Call->getDirectCallee()->getName() != StartActivityFn)
+        continue;
+      for (const Variable *Arg : Call->getArgs())
+        if (auto *C = dyn_cast<ClassType>(Arg->getType()))
+          if (Seen.insert(C).second)
+            Result.push_back(C);
+    }
+  }
+  return Result;
+}
+
+Function *o2::buildAndroidHarness(Module &M, const std::string &MainActivity,
+                                  const AndroidHarnessOptions &Opts) {
+  if (M.getMain())
+    return nullptr;
+  ClassType *Home = M.findClass(MainActivity);
+  if (!Home)
+    return nullptr;
+
+  // The home screen plus everything reachable via startActivity().
+  std::vector<ClassType *> Activities{Home};
+  for (ClassType *C : startedActivities(M, Opts.StartActivityFunction))
+    if (C != Home)
+      Activities.push_back(C);
+
+  Function *Main = M.addFunction("main");
+  IRBuilder B(M, Main);
+  unsigned Idx = 0;
+  for (ClassType *Activity : Activities) {
+    // Activities need a no-argument constructor (or none) to be
+    // instantiable from the harness.
+    if (const Function *Init = Activity->findMethod("init"))
+      if (!isNullary(Init))
+        continue;
+    Variable *Act =
+        Main->addLocal("activity" + std::to_string(Idx++), Activity);
+    B.alloc(Act, Activity);
+
+    // Lifecycle handlers run on the looper thread as plain calls, in
+    // lifecycle order.
+    for (const std::string &Lifecycle : Opts.LifecycleMethods)
+      if (const Function *Handler = Activity->findMethod(Lifecycle))
+        if (isNullary(Handler))
+          B.call(nullptr, Act, Lifecycle);
+
+    // Normal event handlers are origin entries, dispatched any number of
+    // times: spawn them in a loop so each gets duplicated instances.
+    for (const auto &[EntryName, Kind] : Opts.Spec.entries()) {
+      if (Kind != OriginKind::Event)
+        continue;
+      const Function *Handler = Activity->findMethod(EntryName);
+      if (!Handler || !isNullary(Handler))
+        continue;
+      B.beginLoop();
+      B.spawn(Act, EntryName);
+      B.endLoop();
+    }
+  }
+  return Main;
+}

@@ -1,0 +1,689 @@
+//===- BugModels.cpp - Models of the paper's real bugs ------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/Workload/BugModels.h"
+
+#include "o2/IR/Parser.h"
+#include "o2/IR/Verifier.h"
+#include "o2/Support/Compiler.h"
+
+using namespace o2;
+
+namespace {
+
+/// Figure 2 of the paper: two threads share ⟨s⟩ but carry different
+/// operation objects. Precision showcase; no race.
+const char *Figure2 = R"(
+class Shared { }
+class Op {
+  method act(s: Shared) { }
+}
+class Op1 extends Op {
+  field y1: Shared;
+  method act(s: Shared) { this.y1 = s; }
+}
+class Op2 extends Op {
+  field y2: Shared;
+  method act(s: Shared) { var t: Shared; t = this.y2; }
+}
+class T {
+  field s: Shared;
+  field op: Op;
+  method init(s: Shared, op: Op) {
+    this.s = s;
+    this.op = op;
+  }
+  method run() {
+    var s: Shared;
+    var o: Op;
+    s = this.s;
+    o = this.op;
+    o.act(s);
+  }
+}
+func main() {
+  var sh: Shared;
+  var o1: Op1;
+  var o2: Op2;
+  var t1: T;
+  var t2: T;
+  sh = new Shared;
+  o1 = new Op1;
+  o2 = new Op2;
+  t1 = new T(sh, o1);
+  t2 = new T(sh, o2);
+  spawn t1.run();
+  spawn t2.run();
+}
+)";
+
+/// Figure 3 of the paper: a shared super constructor allocates the object
+/// stored in field f; the context switch at origin allocations keeps the
+/// two threads' objects apart. No race.
+const char *Figure3 = R"(
+class Obj { field v: int; }
+class T {
+  field f: Obj;
+  method init() {
+    var o: Obj;
+    o = new Obj;
+    this.f = o;
+  }
+  method run() {
+    var x: Obj;
+    var v: int;
+    x = this.f;
+    x.v = v;
+  }
+}
+class TA extends T { }
+class TB extends T { }
+func main() {
+  var a: TA;
+  var b: TB;
+  a = new TA;
+  b = new TB;
+  spawn a.run();
+  spawn b.run();
+}
+)";
+
+/// Linux kernel (Section 5.4): update_vsyscall_tz() writes
+/// vdata[CS_HRES_COARSE].tz_minuteswest / .tz_dsttime with no lock; two
+/// concurrent invocations of the same syscall race on both fields.
+const char *LinuxVsyscall = R"(
+class VdsoData {
+  field tz_minuteswest: int;
+  field tz_dsttime: int;
+}
+class SysTz {
+  field minuteswest: int;
+  field dsttime: int;
+}
+global vdata: VdsoData[];
+global sys_tz: SysTz;
+class SysUpdateVsyscallTz {
+  method run() {
+    var vd: VdsoData[];
+    var e: VdsoData;
+    var tz: SysTz;
+    var w: int;
+    vd = @vdata;
+    e = vd[*];
+    tz = @sys_tz;
+    w = tz.minuteswest;
+    e.tz_minuteswest = w;
+    w = tz.dsttime;
+    e.tz_dsttime = w;
+  }
+}
+func main() {
+  var vd: VdsoData[];
+  var e: VdsoData;
+  var tz: SysTz;
+  var s1: SysUpdateVsyscallTz;
+  var s2: SysUpdateVsyscallTz;
+  vd = newarray VdsoData;
+  e = new VdsoData;
+  vd[*] = e;
+  @vdata = vd;
+  tz = new SysTz;
+  @sys_tz = tz;
+  s1 = new SysUpdateVsyscallTz;
+  s2 = new SysUpdateVsyscallTz;
+  spawn s1.run();
+  spawn s2.run();
+}
+)";
+
+/// Memcached (Section 5.4): the do_slabs_reassign event handler checks
+/// slabclass[id].slabs without slabs_lock while worker threads grow the
+/// slab list under the lock: a thread↔event race.
+const char *MemcachedSlabs = R"(
+class Item { }
+class Lock { }
+class SlabClass {
+  field slabs: int;
+  field list: Item[];
+}
+global slabclass: SlabClass;
+global slabs_lock: Lock;
+class WorkerThread {
+  method run() {
+    var sc: SlabClass;
+    var lk: Lock;
+    var n: int;
+    var it: Item;
+    var arr: Item[];
+    sc = @slabclass;
+    lk = @slabs_lock;
+    acquire lk;
+    n = sc.slabs;
+    sc.slabs = n;
+    it = new Item;
+    arr = sc.list;
+    arr[*] = it;
+    release lk;
+  }
+}
+class ReassignEvent {
+  method handleEvent() {
+    var sc: SlabClass;
+    var n: int;
+    sc = @slabclass;
+    n = sc.slabs;
+  }
+}
+func main() {
+  var sc: SlabClass;
+  var lk: Lock;
+  var w1: WorkerThread;
+  var w2: WorkerThread;
+  var ev: ReassignEvent;
+  var arr: Item[];
+  sc = new SlabClass;
+  arr = newarray Item;
+  sc.list = arr;
+  lk = new Lock;
+  @slabclass = sc;
+  @slabs_lock = lk;
+  w1 = new WorkerThread;
+  w2 = new WorkerThread;
+  ev = new ReassignEvent;
+  spawn w1.run();
+  spawn w2.run();
+  spawn ev.handleEvent();
+}
+)";
+
+/// Firefox Focus (Section 5.4, Bug-1581940): GeckoAppShell.getAppCtx()
+/// on Gecko's background thread races GeckoAppShell.setAppCtx(appCtx)
+/// called from the UI thread's onCreate handler.
+const char *FirefoxAppCtx = R"(
+class Context { }
+global appCtx: Context;
+class GeckoBgThread {
+  method run() {
+    var c: Context;
+    c = @appCtx;
+  }
+}
+class MainActivityCreate {
+  method onReceive() {
+    var c: Context;
+    c = new Context;
+    @appCtx = c;
+  }
+}
+func main() {
+  var bg: GeckoBgThread;
+  var ui: MainActivityCreate;
+  bg = new GeckoBgThread;
+  ui = new MainActivityCreate;
+  spawn ui.onReceive();
+  spawn bg.run();
+}
+)";
+
+/// ZooKeeper (ZOOKEEPER-3819): DataTree.createNode() adds paths to the
+/// ephemerals list under synchronized(list) while deserialize() adds to
+/// the same list with no lock, and both update the map unsynchronized.
+const char *ZooKeeperEphemerals = R"(
+class Path { }
+class PathList { field paths: Path[]; }
+class DataTree { field ephemerals: PathList; }
+global tree: DataTree;
+class CreateNodeRequest {
+  method run() {
+    var t: DataTree;
+    var list: PathList;
+    var arr: Path[];
+    var p: Path;
+    t = @tree;
+    list = t.ephemerals;
+    t.ephemerals = list;
+    p = new Path;
+    acquire list;
+    arr = list.paths;
+    arr[*] = p;
+    release list;
+  }
+}
+class DeserializeRequest {
+  method run() {
+    var t: DataTree;
+    var list: PathList;
+    var arr: Path[];
+    var p: Path;
+    t = @tree;
+    list = t.ephemerals;
+    t.ephemerals = list;
+    p = new Path;
+    arr = list.paths;
+    arr[*] = p;
+  }
+}
+func main() {
+  var t: DataTree;
+  var list: PathList;
+  var arr: Path[];
+  var c: CreateNodeRequest;
+  var d: DeserializeRequest;
+  t = new DataTree;
+  list = new PathList;
+  arr = newarray Path;
+  list.paths = arr;
+  t.ephemerals = list;
+  @tree = t;
+  c = new CreateNodeRequest;
+  d = new DeserializeRequest;
+  spawn c.run();
+  spawn d.run();
+}
+)";
+
+/// HBase (HBASE-24374): Encryption.getKeyProvider() reads and populates
+/// keyProviderCache with no synchronization from concurrent handlers.
+const char *HBaseKeyProvider = R"(
+class KeyProvider { }
+class Cache { field provider: KeyProvider; }
+global keyProviderCache: Cache;
+class GetKeyProviderRequest {
+  method run() {
+    var c: Cache;
+    var kp: KeyProvider;
+    c = @keyProviderCache;
+    kp = c.provider;
+    kp = new KeyProvider;
+    c.provider = kp;
+  }
+}
+func main() {
+  var c: Cache;
+  var r1: GetKeyProviderRequest;
+  var r2: GetKeyProviderRequest;
+  c = new Cache;
+  @keyProviderCache = c;
+  r1 = new GetKeyProviderRequest;
+  r2 = new GetKeyProviderRequest;
+  spawn r1.run();
+  spawn r2.run();
+}
+)";
+
+/// Redis-style nested thread creation (Section 3.2's k-origin
+/// motivation): a background saver thread spawns an IO thread whose
+/// write to the server state races the main thread's read.
+const char *RedisNested = R"(
+class State { field dirty: int; }
+global server: State;
+class IoThread {
+  method run() {
+    var s: State;
+    var x: int;
+    s = @server;
+    s.dirty = x;
+  }
+}
+class SaverThread {
+  method run() {
+    var io: IoThread;
+    io = new IoThread;
+    spawn io.run();
+  }
+}
+func main() {
+  var st: State;
+  var sv: SaverThread;
+  var x: int;
+  st = new State;
+  @server = st;
+  sv = new SaverThread;
+  spawn sv.run();
+  x = st.dirty;
+}
+)";
+
+
+/// TDengine (Table 10, 6 races): commit worker threads update the vnode
+/// status/version and the write queue with no lock while the sync-timer
+/// event handler polls them.
+const char *TDengineVnode = R"(
+class Msg { }
+class Vnode {
+  field status: int;
+  field version: int;
+  field queue: Msg[];
+}
+global vnode: Vnode;
+class CommitThread {
+  method run() {
+    var v: Vnode;
+    var q: Msg[];
+    var m: Msg;
+    var t: int;
+    v = @vnode;
+    v.status = t;
+    v.version = t;
+    q = v.queue;
+    m = new Msg;
+    q[*] = m;
+  }
+}
+class SyncTimerEvent {
+  method handleEvent() {
+    var v: Vnode;
+    var q: Msg[];
+    var m: Msg;
+    var t: int;
+    v = @vnode;
+    t = v.status;
+    t = v.version;
+    q = v.queue;
+    m = q[*];
+  }
+}
+func main() {
+  var v: Vnode;
+  var q: Msg[];
+  var c1: CommitThread;
+  var c2: CommitThread;
+  var e: SyncTimerEvent;
+  v = new Vnode;
+  q = newarray Msg;
+  v.queue = q;
+  @vnode = v;
+  c1 = new CommitThread;
+  c2 = new CommitThread;
+  e = new SyncTimerEvent;
+  spawn c1.run();
+  spawn c2.run();
+  spawn e.handleEvent();
+}
+)";
+
+/// Open vSwitch (Table 10, 3 races): the main (reconfiguration) thread
+/// writes bridge config flags read by revalidator threads, while the
+/// revalidators update per-flow statistics and the config sequence
+/// number without locks.
+const char *OvsBridge = R"(
+class FlowStats { field packets: int; }
+class BridgeCfg {
+  field flags: int;
+  field seq: int;
+}
+global cfg: BridgeCfg;
+global stats: FlowStats;
+class Revalidator {
+  method run() {
+    var c: BridgeCfg;
+    var st: FlowStats;
+    var t: int;
+    c = @cfg;
+    t = c.flags;
+    c.seq = t;
+    st = @stats;
+    st.packets = t;
+  }
+}
+func main() {
+  var c: BridgeCfg;
+  var st: FlowStats;
+  var r1: Revalidator;
+  var r2: Revalidator;
+  var t: int;
+  c = new BridgeCfg;
+  st = new FlowStats;
+  @cfg = c;
+  @stats = st;
+  r1 = new Revalidator;
+  r2 = new Revalidator;
+  spawn r1.run();
+  spawn r2.run();
+  c.flags = t;
+}
+)";
+
+/// cpqueue (Table 10, 7 races): a concurrent priority queue whose heap
+/// array is guarded but whose size counter is maintained lock-free;
+/// producers and consumers race on every size access combination.
+const char *CpQueue = R"(
+class Item { }
+class Queue {
+  field size: int;
+  field heap: Item[];
+}
+global queue: Queue;
+global qlock: Item;
+class Producer {
+  method run() {
+    var q: Queue;
+    var h: Item[];
+    var lk: Item;
+    var it: Item;
+    var t: int;
+    q = @queue;
+    lk = @qlock;
+    t = q.size;
+    q.size = t;
+    it = new Item;
+    acquire lk;
+    h = q.heap;
+    h[*] = it;
+    release lk;
+  }
+}
+class Consumer {
+  method run() {
+    var q: Queue;
+    var h: Item[];
+    var lk: Item;
+    var it: Item;
+    var t: int;
+    q = @queue;
+    lk = @qlock;
+    t = q.size;
+    q.size = t;
+    acquire lk;
+    h = q.heap;
+    it = h[*];
+    release lk;
+  }
+}
+func main() {
+  var q: Queue;
+  var h: Item[];
+  var lk: Item;
+  var p1: Producer;
+  var p2: Producer;
+  var c1: Consumer;
+  var c2: Consumer;
+  q = new Queue;
+  h = newarray Item;
+  q.heap = h;
+  lk = new Item;
+  @queue = q;
+  @qlock = lk;
+  p1 = new Producer;
+  p2 = new Producer;
+  c1 = new Consumer;
+  c2 = new Consumer;
+  spawn p1.run();
+  spawn p2.run();
+  spawn c1.run();
+  spawn c2.run();
+}
+)";
+
+/// mrlock (Table 10, 5 races): a multi-resource lock manager whose
+/// resource bitmask, buffer, and head counter are touched by locker
+/// threads and a waiter without consistent synchronization.
+const char *MrLock = R"(
+class Cell { }
+class LockState {
+  field mask: int;
+  field head: int;
+  field buf: Cell[];
+}
+global state: LockState;
+class Locker {
+  method run() {
+    var s: LockState;
+    var b: Cell[];
+    var c: Cell;
+    var t: int;
+    s = @state;
+    s.mask = t;
+    t = s.mask;
+    s.head = t;
+    b = s.buf;
+    c = new Cell;
+    b[*] = c;
+  }
+}
+class Waiter {
+  method run() {
+    var s: LockState;
+    var t: int;
+    s = @state;
+    t = s.head;
+  }
+}
+func main() {
+  var s: LockState;
+  var b: Cell[];
+  var l1: Locker;
+  var l2: Locker;
+  var w: Waiter;
+  s = new LockState;
+  b = newarray Cell;
+  s.buf = b;
+  @state = s;
+  l1 = new Locker;
+  l2 = new Locker;
+  w = new Waiter;
+  spawn l1.run();
+  spawn l2.run();
+  spawn w.run();
+}
+)";
+
+/// Tomcat (Table 10, 1 race): the background session-expiration thread
+/// updates the session counter read by request handlers.
+const char *TomcatSession = R"(
+class SessionManager { field activeSessions: int; }
+global manager: SessionManager;
+class ExpirationThread {
+  method run() {
+    var m: SessionManager;
+    var t: int;
+    m = @manager;
+    m.activeSessions = t;
+  }
+}
+class RequestEvent {
+  method handleEvent() {
+    var m: SessionManager;
+    var t: int;
+    m = @manager;
+    t = m.activeSessions;
+  }
+}
+func main() {
+  var m: SessionManager;
+  var bg: ExpirationThread;
+  var rq: RequestEvent;
+  m = new SessionManager;
+  @manager = m;
+  bg = new ExpirationThread;
+  rq = new RequestEvent;
+  spawn bg.run();
+  spawn rq.handleEvent();
+}
+)";
+
+} // namespace
+
+const std::vector<BugModel> &o2::bugModels() {
+  static const std::vector<BugModel> Models = {
+      {"figure2", "paper Figure 2",
+       "origin attributes separate the two threads' operations; no race",
+       0, false, Figure2},
+      {"figure3", "paper Figure 3",
+       "context switch at origin allocations keeps per-thread state apart; "
+       "no race",
+       0, false, Figure3},
+      {"linux_vsyscall", "Linux kernel",
+       "concurrent update_vsyscall_tz() syscalls write "
+       "vdata[CS_HRES_COARSE].tz_minuteswest/.tz_dsttime unlocked",
+       2, false, LinuxVsyscall},
+      {"memcached_slabs", "Memcached",
+       "do_slabs_reassign (event) checks slabclass[id].slabs without "
+       "slabs_lock while worker threads grow the slab list under it",
+       1, true, MemcachedSlabs},
+      {"firefox_appctx", "Firefox Focus / GeckoView",
+       "GeckoAppShell app-context read on the Gecko background thread vs. "
+       "the UI thread's onCreate write (Bug-1581940)",
+       1, true, FirefoxAppCtx},
+      {"zookeeper_ephemerals", "ZooKeeper",
+       "DataTree.createNode() locks the ephemerals list; deserialize() "
+       "adds to it and updates the map with no lock (ZOOKEEPER-3819)",
+       4, false, ZooKeeperEphemerals},
+      {"hbase_keyprovider", "HBase",
+       "Encryption.getKeyProvider() reads and fills keyProviderCache "
+       "unsynchronized (HBASE-24374)",
+       2, false, HBaseKeyProvider},
+      {"redis_nested", "Redis/RedisGraph",
+       "nested thread creation: an IO thread spawned by the saver thread "
+       "races the main thread on server state",
+       1, false, RedisNested},
+      {"tdengine_vnode", "TDengine",
+       "commit worker threads update vnode status/version and the write "
+       "queue with no lock while the sync-timer event handler polls them",
+       6, true, TDengineVnode},
+      {"ovs_bridge", "Open vSwitch (OVS)",
+       "the reconfiguration path writes bridge flags read by revalidator "
+       "threads, which also update per-flow stats and the config seq "
+       "without locks",
+       3, false, OvsBridge},
+      {"cpqueue", "cpqueue",
+       "the priority queue's heap array is guarded, but its size counter "
+       "is maintained lock-free by producers and consumers",
+       7, false, CpQueue},
+      {"mrlock", "mrlock",
+       "the multi-resource lock's bitmask, buffer, and head counter are "
+       "touched by lockers and a waiter without consistent synchronization",
+       5, false, MrLock},
+      {"tomcat_session", "Tomcat",
+       "the background session-expiration thread updates the session "
+       "counter read by request handlers",
+       1, true, TomcatSession},
+  };
+  return Models;
+}
+
+const BugModel *o2::findBugModel(const std::string &Name) {
+  for (const BugModel &Model : bugModels())
+    if (Model.Name == Name)
+      return &Model;
+  return nullptr;
+}
+
+std::unique_ptr<Module> o2::buildBugModel(const BugModel &Model) {
+  std::string Err;
+  auto M = parseModule(Model.Source, Err, Model.Name);
+  if (!M)
+    reportFatalInternalError(("bug model fails to parse: " + Err).c_str(),
+                             __FILE__, __LINE__);
+  std::vector<std::string> Errors;
+  if (!verifyModule(*M, Errors))
+    reportFatalInternalError(
+        ("bug model fails to verify: " + Errors.front()).c_str(), __FILE__,
+        __LINE__);
+  return M;
+}

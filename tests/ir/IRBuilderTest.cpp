@@ -1,0 +1,121 @@
+//===- IRBuilderTest.cpp - IRBuilder unit tests -------------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/IR/IRBuilder.h"
+
+#include "o2/Support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace o2;
+
+namespace {
+
+struct BuilderFixture : ::testing::Test {
+  Module M;
+  ClassType *A = M.addClass("A");
+  Function *F = M.addFunction("main");
+  IRBuilder B{M, F};
+};
+
+TEST_F(BuilderFixture, AllocAssignsSitesAndIndices) {
+  Variable *X = F->addLocal("x", A);
+  Variable *Y = F->addLocal("y", A);
+  AllocStmt *S1 = B.alloc(X, A);
+  AllocStmt *S2 = B.alloc(Y, A);
+  EXPECT_EQ(S1->getIndex(), 0u);
+  EXPECT_EQ(S2->getIndex(), 1u);
+  EXPECT_NE(S1->getSite(), S2->getSite());
+  EXPECT_NE(S1->getId(), S2->getId());
+  EXPECT_FALSE(S1->isInLoop());
+  EXPECT_EQ(F->size(), 2u);
+}
+
+TEST_F(BuilderFixture, LoopFlagsAllocsAndSpawns) {
+  A->addMethod(M.addFunction("run"));
+  Variable *X = F->addLocal("x", A);
+  B.beginLoop();
+  AllocStmt *S = B.alloc(X, A);
+  SpawnStmt *Sp = B.spawn(X, "run");
+  B.endLoop();
+  AllocStmt *After = B.alloc(X, A);
+  EXPECT_TRUE(S->isInLoop());
+  EXPECT_TRUE(Sp->isInLoop());
+  EXPECT_FALSE(After->isInLoop());
+}
+
+TEST_F(BuilderFixture, FieldAccessResolvesThroughStaticType) {
+  Field *Fld = A->addField("f", A);
+  ClassType *Sub = M.addClass("Sub", A);
+  Variable *X = F->addLocal("x", Sub);
+  Variable *Y = F->addLocal("y", A);
+  FieldLoadStmt *L = B.fieldLoad(Y, X, "f");
+  EXPECT_EQ(L->getField(), Fld);
+  FieldStoreStmt *S = B.fieldStore(X, "f", Y);
+  EXPECT_EQ(S->getField(), Fld);
+}
+
+TEST_F(BuilderFixture, CallKinds) {
+  Function *Callee = M.addFunction("callee", A);
+  Variable *X = F->addLocal("x", A);
+  Variable *R = F->addLocal("r", A);
+  CallStmt *Direct = B.callDirect(R, Callee, {X});
+  EXPECT_FALSE(Direct->isVirtual());
+  EXPECT_EQ(Direct->getDirectCallee(), Callee);
+  EXPECT_EQ(Direct->getArgs().size(), 1u);
+
+  Function *Method = M.addFunction("m");
+  A->addMethod(Method);
+  CallStmt *Virt = B.call(nullptr, X, "m");
+  EXPECT_TRUE(Virt->isVirtual());
+  EXPECT_EQ(Virt->getMethodName(), "m");
+  EXPECT_EQ(Virt->getReceiver(), X);
+  EXPECT_NE(Direct->getSite(), Virt->getSite());
+}
+
+TEST_F(BuilderFixture, SyncStatements) {
+  A->addMethod(M.addFunction("run"));
+  Variable *T = F->addLocal("t", A);
+  Variable *L = F->addLocal("l", A);
+  B.acquire(L);
+  B.spawn(T, "run");
+  B.release(L);
+  B.join(T);
+  ASSERT_EQ(F->size(), 4u);
+  EXPECT_TRUE(isa<AcquireStmt>(F->body()[0].get()));
+  EXPECT_TRUE(isa<SpawnStmt>(F->body()[1].get()));
+  EXPECT_TRUE(isa<ReleaseStmt>(F->body()[2].get()));
+  EXPECT_TRUE(isa<JoinStmt>(F->body()[3].get()));
+}
+
+TEST_F(BuilderFixture, GlobalAndArrayStatements) {
+  Global *G = M.addGlobal("g", A);
+  ArrayType *Arr = M.getArrayType(A);
+  Variable *X = F->addLocal("x", A);
+  Variable *Ar = F->addLocal("arr", Arr);
+  B.globalStore(G, X);
+  B.globalLoad(X, G);
+  B.allocArray(Ar, Arr);
+  B.arrayStore(Ar, X);
+  B.arrayLoad(X, Ar);
+  EXPECT_EQ(F->size(), 5u);
+  EXPECT_EQ(cast<ArrayAllocStmt>(F->body()[2].get())->getAllocType(), Arr);
+}
+
+TEST_F(BuilderFixture, StmtIdsAreModuleWideDense) {
+  Variable *X = F->addLocal("x", A);
+  B.alloc(X, A);
+  Function *F2 = M.addFunction("other");
+  IRBuilder B2(M, F2);
+  Variable *Y = F2->addLocal("y", A);
+  AllocStmt *S2 = B2.alloc(Y, A);
+  EXPECT_EQ(S2->getId(), 1u);
+  EXPECT_EQ(M.numStmts(), 2u);
+}
+
+} // namespace

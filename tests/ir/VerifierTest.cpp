@@ -1,0 +1,214 @@
+//===- VerifierTest.cpp - Verifier unit tests ----------------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/IR/Verifier.h"
+
+#include "o2/IR/IRBuilder.h"
+#include "o2/IR/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace o2;
+
+namespace {
+
+std::vector<std::string> verify(const Module &M) {
+  std::vector<std::string> Errors;
+  verifyModule(M, Errors);
+  return Errors;
+}
+
+bool hasError(const std::vector<std::string> &Errors,
+              std::string_view Needle) {
+  for (const std::string &E : Errors)
+    if (E.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(VerifierTest, MissingMain) {
+  Module M;
+  auto Errors = verify(M);
+  EXPECT_TRUE(hasError(Errors, "no 'main'"));
+}
+
+TEST(VerifierTest, MainWithParamsRejected) {
+  Module M;
+  Function *Main = M.addFunction("main");
+  Main->addParam("argc", M.getIntType());
+  EXPECT_TRUE(hasError(verify(M), "no parameters"));
+}
+
+TEST(VerifierTest, CleanModulePasses) {
+  Module M;
+  ClassType *A = M.addClass("A");
+  A->addField("f", M.getIntType());
+  Function *Main = M.addFunction("main");
+  IRBuilder B(M, Main);
+  Variable *X = Main->addLocal("x", A);
+  Variable *V = Main->addLocal("v", M.getIntType());
+  B.alloc(X, A);
+  B.fieldLoad(V, X, "f");
+  B.fieldStore(X, "f", V);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(M, Errors)) << Errors.front();
+}
+
+TEST(VerifierTest, ForeignVariableRejected) {
+  Module M;
+  ClassType *A = M.addClass("A");
+  Function *Main = M.addFunction("main");
+  Function *Other = M.addFunction("other");
+  Variable *Foreign = Other->addLocal("x", A);
+  Variable *Mine = Main->addLocal("y", A);
+  IRBuilder B(M, Main);
+  B.assign(Mine, Foreign);
+  EXPECT_TRUE(hasError(verify(M), "belongs to another function"));
+}
+
+TEST(VerifierTest, BadAssignTypeRejected) {
+  Module M;
+  ClassType *A = M.addClass("A");
+  ClassType *B1 = M.addClass("B", A);
+  Function *Main = M.addFunction("main");
+  Variable *Sup = Main->addLocal("sup", A);
+  Variable *Sub = Main->addLocal("sub", B1);
+  IRBuilder B(M, Main);
+  B.assign(Sup, Sub); // upcast OK
+  B.assign(Sub, Sup); // downcast rejected
+  auto Errors = verify(M);
+  EXPECT_TRUE(hasError(Errors, "cannot store 'A' into 'B'"));
+  EXPECT_EQ(Errors.size(), 1u);
+}
+
+TEST(VerifierTest, ConstructorArityChecked) {
+  Module M;
+  ClassType *A = M.addClass("A");
+  Function *Init = M.addFunction("init");
+  A->addMethod(Init);
+  Init->addParam("this", A);
+  Init->addParam("n", A);
+  Function *Main = M.addFunction("main");
+  Variable *X = Main->addLocal("x", A);
+  IRBuilder B(M, Main);
+  B.alloc(X, A); // missing the ctor argument
+  EXPECT_TRUE(hasError(verify(M), "expected 1"));
+}
+
+TEST(VerifierTest, CtorArgsWithoutInitRejected) {
+  Module M;
+  ClassType *A = M.addClass("A");
+  Function *Main = M.addFunction("main");
+  Variable *X = Main->addLocal("x", A);
+  IRBuilder B(M, Main);
+  B.alloc(X, A, {X});
+  EXPECT_TRUE(hasError(verify(M), "has no 'init'"));
+}
+
+TEST(VerifierTest, UnknownVirtualMethodRejected) {
+  Module M;
+  ClassType *A = M.addClass("A");
+  Function *Main = M.addFunction("main");
+  Variable *X = Main->addLocal("x", A);
+  IRBuilder B(M, Main);
+  B.call(nullptr, X, "nope");
+  EXPECT_TRUE(hasError(verify(M), "no method 'nope'"));
+}
+
+TEST(VerifierTest, CallArityChecked) {
+  Module M;
+  ClassType *A = M.addClass("A");
+  Function *Callee = M.addFunction("callee");
+  Callee->addParam("a", A);
+  Callee->addParam("b", A);
+  Function *Main = M.addFunction("main");
+  Variable *X = Main->addLocal("x", A);
+  IRBuilder B(M, Main);
+  B.callDirect(nullptr, Callee, {X});
+  EXPECT_TRUE(hasError(verify(M), "passes 1 argument(s), expected 2"));
+}
+
+TEST(VerifierTest, UnbalancedLocksRejected) {
+  Module M;
+  ClassType *A = M.addClass("A");
+  Function *Main = M.addFunction("main");
+  Variable *L = Main->addLocal("l", A);
+  IRBuilder B(M, Main);
+  B.acquire(L);
+  EXPECT_TRUE(hasError(verify(M), "unbalanced lock region"));
+}
+
+TEST(VerifierTest, BadNestingRejected) {
+  Module M;
+  ClassType *A = M.addClass("A");
+  Function *Main = M.addFunction("main");
+  Variable *L1 = Main->addLocal("l1", A);
+  Variable *L2 = Main->addLocal("l2", A);
+  IRBuilder B(M, Main);
+  B.acquire(L1);
+  B.acquire(L2);
+  B.release(L1); // out of order
+  B.release(L2);
+  EXPECT_TRUE(hasError(verify(M), "not well nested"));
+}
+
+TEST(VerifierTest, ReleaseWithoutAcquireRejected) {
+  Module M;
+  ClassType *A = M.addClass("A");
+  Function *Main = M.addFunction("main");
+  Variable *L = Main->addLocal("l", A);
+  IRBuilder B(M, Main);
+  B.release(L);
+  EXPECT_TRUE(hasError(verify(M), "release without matching acquire"));
+}
+
+TEST(VerifierTest, IntLockRejected) {
+  Module M;
+  Function *Main = M.addFunction("main");
+  Variable *L = Main->addLocal("l", M.getIntType());
+  IRBuilder B(M, Main);
+  B.acquire(L);
+  B.release(L);
+  EXPECT_TRUE(hasError(verify(M), "reference type"));
+}
+
+TEST(VerifierTest, SpawnWithoutEntryRejected) {
+  Module M;
+  ClassType *A = M.addClass("A");
+  Function *Main = M.addFunction("main");
+  Variable *X = Main->addLocal("x", A);
+  IRBuilder B(M, Main);
+  B.spawn(X, "run");
+  EXPECT_TRUE(hasError(verify(M), "no entry method 'run'"));
+}
+
+TEST(VerifierTest, ReturnFromVoidRejected) {
+  Module M;
+  ClassType *A = M.addClass("A");
+  Function *Main = M.addFunction("main");
+  Variable *X = Main->addLocal("x", A);
+  IRBuilder B(M, Main);
+  B.ret(X);
+  EXPECT_TRUE(hasError(verify(M), "void function"));
+}
+
+TEST(VerifierTest, ArrayOpsOnNonArraysRejected) {
+  Module M;
+  ClassType *A = M.addClass("A");
+  Function *Main = M.addFunction("main");
+  Variable *X = Main->addLocal("x", A);
+  Variable *Y = Main->addLocal("y", A);
+  IRBuilder B(M, Main);
+  B.arrayLoad(Y, X);
+  B.arrayStore(X, Y);
+  auto Errors = verify(M);
+  EXPECT_TRUE(hasError(Errors, "array load from non-array"));
+  EXPECT_TRUE(hasError(Errors, "array store to non-array"));
+}
+
+} // namespace

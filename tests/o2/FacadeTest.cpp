@@ -1,0 +1,127 @@
+//===- FacadeTest.cpp - O2 facade tests --------------------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/O2.h"
+
+#include "o2/IR/Parser.h"
+#include "o2/IR/Verifier.h"
+#include "o2/Support/OutputStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace o2;
+
+namespace {
+
+std::unique_ptr<Module> parseProgram(std::string_view Src) {
+  std::string Err;
+  auto M = parseModule(Src, Err);
+  EXPECT_TRUE(M) << "parse error: " << Err;
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(*M, Errors))
+      << (Errors.empty() ? "?" : Errors.front());
+  return M;
+}
+
+const char *Program = R"(
+  class Obj { field v: int; }
+  class T {
+    field s: Obj;
+    method init(s: Obj) { this.s = s; }
+    method run() { var o: Obj; var x: int; o = this.s; o.v = x; }
+  }
+  func main() {
+    var s: Obj;
+    var t1: T;
+    var t2: T;
+    s = new Obj;
+    t1 = new T(s);
+    t2 = new T(s);
+    spawn t1.run();
+    spawn t2.run();
+  }
+)";
+
+TEST(FacadeTest, DefaultPipelineRunsEverything) {
+  auto M = parseProgram(Program);
+  O2Analysis Result = analyzeModule(*M);
+  ASSERT_TRUE(Result.PTA);
+  EXPECT_EQ(Result.PTA->options().Kind, ContextKind::Origin);
+  EXPECT_EQ(Result.PTA->origins().size(), 3u);
+  EXPECT_EQ(Result.Sharing.sharedLocations().size(), 1u);
+  EXPECT_EQ(Result.SHB.numThreads(), 3u);
+  EXPECT_EQ(Result.Races.numRaces(), 1u);
+  // Timings are populated and consistent.
+  EXPECT_GT(Result.PTASeconds, 0.0);
+  EXPECT_GT(Result.totalSeconds(), 0.0);
+  EXPECT_GE(Result.totalSeconds(), Result.PTASeconds);
+}
+
+TEST(FacadeTest, OSACanBeSkipped) {
+  auto M = parseProgram(Program);
+  O2Config Config;
+  Config.RunOSA = false;
+  O2Analysis Result = analyzeModule(*M, Config);
+  EXPECT_TRUE(Result.Sharing.sharedLocations().empty());
+  EXPECT_EQ(Result.OSASeconds, 0.0);
+  EXPECT_EQ(Result.Races.numRaces(), 1u); // detection is independent
+}
+
+TEST(FacadeTest, OSASkippedForNonOriginAnalyses) {
+  auto M = parseProgram(Program);
+  O2Config Config;
+  Config.PTA.Kind = ContextKind::KCallsite;
+  Config.PTA.K = 1;
+  O2Analysis Result = analyzeModule(*M, Config);
+  // OSA requires origin sensitivity; the facade must not run it.
+  EXPECT_TRUE(Result.Sharing.sharedLocations().empty());
+  EXPECT_GE(Result.Races.numRaces(), 1u);
+}
+
+TEST(FacadeTest, DetectorConfigIsForwarded) {
+  auto M = parseProgram(R"(
+    class Obj { field v: int; }
+    class H {
+      field s: Obj;
+      method init(s: Obj) { this.s = s; }
+      method handleEvent() { var o: Obj; var x: int; o = this.s; o.v = x; }
+    }
+    func main() {
+      var s: Obj;
+      var h1: H;
+      var h2: H;
+      s = new Obj;
+      h1 = new H(s);
+      h2 = new H(s);
+      spawn h1.handleEvent();
+      spawn h2.handleEvent();
+    }
+  )");
+  O2Analysis Serialized = analyzeModule(*M);
+  EXPECT_EQ(Serialized.Races.numRaces(), 0u);
+
+  O2Config NoSerial;
+  NoSerial.Detector.SHB.SerializeEventHandlers = false;
+  O2Analysis Parallel = analyzeModule(*M, NoSerial);
+  EXPECT_EQ(Parallel.Races.numRaces(), 1u);
+}
+
+TEST(FacadeTest, SummaryMentionsEveryPhase) {
+  auto M = parseProgram(Program);
+  O2Analysis Result = analyzeModule(*M);
+  std::string Buf;
+  StringOutputStream OS(Buf);
+  Result.printSummary(OS);
+  EXPECT_NE(Buf.find("pointer analysis:"), std::string::npos);
+  EXPECT_NE(Buf.find("sharing:"), std::string::npos);
+  EXPECT_NE(Buf.find("SHB:"), std::string::npos);
+  EXPECT_NE(Buf.find("races: 1"), std::string::npos);
+  EXPECT_NE(Buf.find("1-origin"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+//===- CallGraphTest.cpp - materialized call graph tests -------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/PTA/CallGraph.h"
+
+#include "PTATestUtils.h"
+#include "o2/Support/OutputStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace o2;
+using namespace o2test;
+
+namespace {
+
+const char *Program = R"(
+  class Task {
+    method init() { setup(this); }
+    method run() { this.work(); }
+    method work() { }
+  }
+  func setup(t: Task) { }
+  func main() {
+    var t: Task;
+    t = new Task;
+    spawn t.run();
+  }
+)";
+
+TEST(CallGraphTest, NodesMatchInstances) {
+  auto M = parseProgram(Program);
+  auto PTA = runPointerAnalysis(*M, optsFor(ContextKind::Origin));
+  CallGraph G = CallGraph::build(*PTA);
+  EXPECT_EQ(G.numNodes(), PTA->instances().size());
+  // main, Task::init, setup, Task::run, Task::work.
+  EXPECT_EQ(G.numNodes(), 5u);
+}
+
+TEST(CallGraphTest, EdgesAndKinds) {
+  auto M = parseProgram(Program);
+  auto PTA = runPointerAnalysis(*M, optsFor(ContextKind::Origin));
+  CallGraph G = CallGraph::build(*PTA);
+  // main->init (ctor), init->setup, main->run (spawn), run->work.
+  EXPECT_EQ(G.numEdges(), 4u);
+  unsigned SpawnEdges = 0, CtorEdges = 0;
+  for (const CallGraph::Edge &E : G.edges()) {
+    SpawnEdges += E.IsSpawn;
+    CtorEdges += isa<AllocStmt>(E.Site);
+  }
+  EXPECT_EQ(SpawnEdges, 1u);
+  EXPECT_EQ(CtorEdges, 1u);
+}
+
+TEST(CallGraphTest, AdjacencyQueries) {
+  auto M = parseProgram(Program);
+  auto PTA = runPointerAnalysis(*M, optsFor(ContextKind::Origin));
+  CallGraph G = CallGraph::build(*PTA);
+  unsigned MainId = G.nodeId(M->getMain(), 0);
+  ASSERT_NE(MainId, ~0u);
+  EXPECT_EQ(G.callees(MainId).size(), 2u); // ctor + spawn
+  EXPECT_TRUE(G.callers(MainId).empty());
+
+  const Function *Work = M->findClass("Task")->findMethod("work");
+  unsigned WorkId = ~0u;
+  for (const CallGraph::Node &N : G.nodes())
+    if (N.F == Work)
+      WorkId = N.Id;
+  ASSERT_NE(WorkId, ~0u);
+  EXPECT_EQ(G.callers(WorkId).size(), 1u);
+  EXPECT_TRUE(G.callees(WorkId).empty());
+}
+
+TEST(CallGraphTest, ReachableFunctionsDeduped) {
+  auto M = parseProgram(R"(
+    class A { method m() { } }
+    func main() {
+      var a1: A;
+      var a2: A;
+      a1 = new A;
+      a2 = new A;
+      a1.m();
+      a2.m();
+    }
+  )");
+  // Under 1-obj, A::m has two instances (two receivers) but is one
+  // function.
+  auto PTA = runPointerAnalysis(*M, optsFor(ContextKind::KObject, 1));
+  CallGraph G = CallGraph::build(*PTA);
+  EXPECT_EQ(G.numNodes(), 3u); // main + 2 instances of A::m
+  EXPECT_EQ(G.reachableFunctions().size(), 2u);
+}
+
+TEST(CallGraphTest, OriginSensitiveGraphSeparatesOrigins) {
+  // The paper's Figure 2(b): each origin's call chain is its own path.
+  auto M = parseProgram(R"(
+    class T {
+      method run() { this.work(); }
+      method work() { }
+    }
+    func main() {
+      var t1: T;
+      var t2: T;
+      t1 = new T;
+      t2 = new T;
+      spawn t1.run();
+      spawn t2.run();
+    }
+  )");
+  auto PTA = runPointerAnalysis(*M, optsFor(ContextKind::Origin));
+  CallGraph G = CallGraph::build(*PTA);
+  // main + (run, work) per origin.
+  EXPECT_EQ(G.numNodes(), 5u);
+  auto Ins = runPointerAnalysis(*M, optsFor(ContextKind::Insensitive));
+  CallGraph GI = CallGraph::build(*Ins);
+  EXPECT_EQ(GI.numNodes(), 3u);
+}
+
+TEST(CallGraphTest, DotExport) {
+  auto M = parseProgram(Program);
+  auto PTA = runPointerAnalysis(*M, optsFor(ContextKind::Origin));
+  CallGraph G = CallGraph::build(*PTA);
+  std::string Buf;
+  StringOutputStream OS(Buf);
+  G.printDot(OS, *PTA);
+  EXPECT_EQ(Buf.find("digraph callgraph {"), 0u);
+  EXPECT_NE(Buf.find("Task::run"), std::string::npos);
+  EXPECT_NE(Buf.find("spawn"), std::string::npos);
+  EXPECT_NE(Buf.find("}\n"), std::string::npos);
+}
+
+} // namespace

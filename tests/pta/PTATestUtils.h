@@ -1,0 +1,66 @@
+//===- PTATestUtils.h - shared helpers for PTA tests ------------*- C++ -*-===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef O2_TESTS_PTA_PTATESTUTILS_H
+#define O2_TESTS_PTA_PTATESTUTILS_H
+
+#include "o2/IR/Parser.h"
+#include "o2/IR/Verifier.h"
+#include "o2/PTA/PointerAnalysis.h"
+
+#include <gtest/gtest.h>
+
+namespace o2test {
+
+/// Parses and verifies a textual OIR program; fails the test on errors.
+inline std::unique_ptr<o2::Module> parseProgram(std::string_view Src) {
+  std::string Err;
+  auto M = o2::parseModule(Src, Err);
+  EXPECT_TRUE(M) << "parse error: " << Err;
+  if (!M)
+    return nullptr;
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(o2::verifyModule(*M, Errors))
+      << "verifier error: " << (Errors.empty() ? "?" : Errors.front());
+  return M;
+}
+
+inline o2::PTAOptions optsFor(o2::ContextKind Kind, unsigned K = 1) {
+  o2::PTAOptions Opts;
+  Opts.Kind = Kind;
+  Opts.K = K;
+  return Opts;
+}
+
+/// Number of abstract objects whose allocated type is named \p TypeName.
+inline unsigned countObjectsOfType(const o2::PTAResult &R,
+                                   std::string_view TypeName) {
+  unsigned N = 0;
+  for (const o2::ObjInfo &O : R.objects())
+    if (O.AllocatedType->getName() == TypeName)
+      ++N;
+  return N;
+}
+
+/// Finds the unique free function or method statement of the given kind in
+/// \p F, failing the test when absent.
+template <typename StmtT>
+const StmtT *findStmt(const o2::Function *F) {
+  const StmtT *Found = nullptr;
+  for (const auto &S : F->body())
+    if (const auto *T = o2::dyn_cast<StmtT>(S.get())) {
+      EXPECT_EQ(Found, nullptr) << "multiple statements of requested kind";
+      Found = T;
+    }
+  EXPECT_NE(Found, nullptr) << "no statement of requested kind";
+  return Found;
+}
+
+} // namespace o2test
+
+#endif // O2_TESTS_PTA_PTATESTUTILS_H

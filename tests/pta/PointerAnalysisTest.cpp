@@ -1,0 +1,317 @@
+//===- PointerAnalysisTest.cpp - core PTA unit tests --------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/PTA/PointerAnalysis.h"
+
+#include "PTATestUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace o2;
+using namespace o2test;
+
+namespace {
+
+/// Points-to object count for variable \p Name in function \p Fn under
+/// every reached context, summed as a set union.
+unsigned ptsSizeAnyCtx(const PTAResult &R, const Function *Fn,
+                       const std::string &Name) {
+  const Variable *V = Fn->findVariable(Name);
+  EXPECT_NE(V, nullptr);
+  BitVector Union;
+  for (const auto &[F, C] : R.instances()) {
+    if (F != Fn)
+      continue;
+    if (const BitVector *P = R.pts(V, C))
+      Union.unionWith(*P);
+  }
+  return Union.count();
+}
+
+TEST(PointerAnalysisTest, AllocAndAssignFlow) {
+  auto M = parseProgram(R"(
+    class A { }
+    func main() {
+      var x: A;
+      var y: A;
+      x = new A;
+      y = x;
+    }
+  )");
+  auto R = runPointerAnalysis(*M, optsFor(ContextKind::Insensitive));
+  const Function *Main = M->getMain();
+  EXPECT_EQ(ptsSizeAnyCtx(*R, Main, "x"), 1u);
+  EXPECT_EQ(ptsSizeAnyCtx(*R, Main, "y"), 1u);
+  const BitVector *PX = R->pts(Main->findVariable("x"), 0);
+  const BitVector *PY = R->pts(Main->findVariable("y"), 0);
+  ASSERT_TRUE(PX && PY);
+  EXPECT_TRUE(*PX == *PY);
+}
+
+TEST(PointerAnalysisTest, FieldFlow) {
+  auto M = parseProgram(R"(
+    class Box { field item: Box; }
+    func main() {
+      var a: Box;
+      var b: Box;
+      var got: Box;
+      a = new Box;
+      b = new Box;
+      a.item = b;
+      got = a.item;
+    }
+  )");
+  auto R = runPointerAnalysis(*M, optsFor(ContextKind::Insensitive));
+  const Function *Main = M->getMain();
+  const BitVector *PB = R->pts(Main->findVariable("b"), 0);
+  const BitVector *PGot = R->pts(Main->findVariable("got"), 0);
+  ASSERT_TRUE(PB && PGot);
+  EXPECT_TRUE(*PB == *PGot);
+  EXPECT_EQ(PGot->count(), 1u);
+}
+
+TEST(PointerAnalysisTest, ArrayFlowIsIndexInsensitive) {
+  auto M = parseProgram(R"(
+    class A { }
+    func main() {
+      var arr: A[];
+      var x: A;
+      var y: A;
+      var out: A;
+      arr = newarray A;
+      x = new A;
+      y = new A;
+      arr[*] = x;
+      arr[*] = y;
+      out = arr[*];
+    }
+  )");
+  auto R = runPointerAnalysis(*M, optsFor(ContextKind::Insensitive));
+  EXPECT_EQ(ptsSizeAnyCtx(*R, M->getMain(), "out"), 2u);
+}
+
+TEST(PointerAnalysisTest, GlobalFlow) {
+  auto M = parseProgram(R"(
+    class A { }
+    global g: A;
+    func main() {
+      var x: A;
+      var y: A;
+      x = new A;
+      @g = x;
+      y = @g;
+    }
+  )");
+  auto R = runPointerAnalysis(*M, optsFor(ContextKind::Insensitive));
+  EXPECT_EQ(ptsSizeAnyCtx(*R, M->getMain(), "y"), 1u);
+  const BitVector *PG = R->ptsGlobal(M->findGlobal("g"));
+  ASSERT_TRUE(PG);
+  EXPECT_EQ(PG->count(), 1u);
+}
+
+TEST(PointerAnalysisTest, DirectCallParamAndReturnFlow) {
+  auto M = parseProgram(R"(
+    class A { }
+    func id(p: A): A {
+      return p;
+    }
+    func main() {
+      var x: A;
+      var y: A;
+      x = new A;
+      y = id(x);
+    }
+  )");
+  auto R = runPointerAnalysis(*M, optsFor(ContextKind::Insensitive));
+  EXPECT_EQ(ptsSizeAnyCtx(*R, M->getMain(), "y"), 1u);
+}
+
+TEST(PointerAnalysisTest, VirtualDispatchUsesDynamicType) {
+  auto M = parseProgram(R"(
+    class A { method make(): A { var r: A; r = new A; return r; } }
+    class B extends A { method make(): A { var r: A; r = new A; return r; } }
+    func main() {
+      var o: A;
+      var got: A;
+      o = new B;
+      got = o.make();
+    }
+  )");
+  auto R = runPointerAnalysis(*M, optsFor(ContextKind::Insensitive));
+  // Only B::make should be reached: exactly one of the two inner allocs.
+  EXPECT_EQ(ptsSizeAnyCtx(*R, M->getMain(), "got"), 1u);
+  ClassType *A = M->findClass("A");
+  ClassType *B = M->findClass("B");
+  bool ReachedAMake = false, ReachedBMake = false;
+  for (const auto &[F, C] : R->instances()) {
+    (void)C;
+    if (F == A->findMethod("make"))
+      ReachedAMake = true;
+    if (F == B->findMethod("make"))
+      ReachedBMake = true;
+  }
+  EXPECT_FALSE(ReachedAMake);
+  EXPECT_TRUE(ReachedBMake);
+}
+
+TEST(PointerAnalysisTest, ConstructorBindsArgsToThis) {
+  auto M = parseProgram(R"(
+    class A { }
+    class Holder {
+      field held: A;
+      method init(a: A) { this.held = a; }
+    }
+    func main() {
+      var a: A;
+      var h: Holder;
+      var got: A;
+      a = new A;
+      h = new Holder(a);
+      got = h.held;
+    }
+  )");
+  auto R = runPointerAnalysis(*M, optsFor(ContextKind::Insensitive));
+  EXPECT_EQ(ptsSizeAnyCtx(*R, M->getMain(), "got"), 1u);
+}
+
+TEST(PointerAnalysisTest, UnreachableCodeNotAnalyzed) {
+  auto M = parseProgram(R"(
+    class A { }
+    func dead() {
+      var x: A;
+      x = new A;
+    }
+    func main() { }
+  )");
+  auto R = runPointerAnalysis(*M, optsFor(ContextKind::Insensitive));
+  EXPECT_EQ(R->objects().size(), 0u);
+  EXPECT_EQ(R->instances().size(), 1u);
+}
+
+TEST(PointerAnalysisTest, ContextInsensitiveMergesCallSites) {
+  auto M = parseProgram(R"(
+    class A { }
+    func id(p: A): A { return p; }
+    func main() {
+      var x1: A;
+      var x2: A;
+      var y1: A;
+      var y2: A;
+      x1 = new A;
+      x2 = new A;
+      y1 = id(x1);
+      y2 = id(x2);
+    }
+  )");
+  auto R0 = runPointerAnalysis(*M, optsFor(ContextKind::Insensitive));
+  // 0-ctx conflates both call sites.
+  EXPECT_EQ(ptsSizeAnyCtx(*R0, M->getMain(), "y1"), 2u);
+
+  auto R1 = runPointerAnalysis(*M, optsFor(ContextKind::KCallsite, 1));
+  // 1-CFA keeps them apart.
+  EXPECT_EQ(ptsSizeAnyCtx(*R1, M->getMain(), "y1"), 1u);
+  EXPECT_EQ(ptsSizeAnyCtx(*R1, M->getMain(), "y2"), 1u);
+}
+
+TEST(PointerAnalysisTest, OneCFAInsufficientForTwoLevelWrappers) {
+  auto M = parseProgram(R"(
+    class A { }
+    func id(p: A): A { return p; }
+    func wrap(p: A): A {
+      var r: A;
+      r = id(p);
+      return r;
+    }
+    func main() {
+      var x1: A;
+      var x2: A;
+      var y1: A;
+      var y2: A;
+      x1 = new A;
+      x2 = new A;
+      y1 = wrap(x1);
+      y2 = wrap(x2);
+    }
+  )");
+  // 1-CFA merges inside id() (same wrap->id call site).
+  auto R1 = runPointerAnalysis(*M, optsFor(ContextKind::KCallsite, 1));
+  EXPECT_EQ(ptsSizeAnyCtx(*R1, M->getMain(), "y1"), 2u);
+  // 2-CFA distinguishes the full chain.
+  auto R2 = runPointerAnalysis(*M, optsFor(ContextKind::KCallsite, 2));
+  EXPECT_EQ(ptsSizeAnyCtx(*R2, M->getMain(), "y1"), 1u);
+}
+
+TEST(PointerAnalysisTest, ObjectSensitivityDistinguishesReceivers) {
+  auto M = parseProgram(R"(
+    class Box {
+      field item: Box;
+      method set(v: Box) { this.item = v; }
+      method get(): Box { var r: Box; r = this.item; return r; }
+    }
+    func main() {
+      var a: Box;
+      var b: Box;
+      var va: Box;
+      var vb: Box;
+      var got: Box;
+      a = new Box;
+      b = new Box;
+      va = new Box;
+      vb = new Box;
+      a.set(va);
+      b.set(vb);
+      got = a.get();
+    }
+  )");
+  auto R = runPointerAnalysis(*M, optsFor(ContextKind::KObject, 1));
+  EXPECT_EQ(ptsSizeAnyCtx(*R, M->getMain(), "got"), 1u);
+}
+
+TEST(PointerAnalysisTest, StatsArePopulated) {
+  auto M = parseProgram(R"(
+    class A { }
+    func main() {
+      var x: A;
+      x = new A;
+    }
+  )");
+  auto R = runPointerAnalysis(*M, optsFor(ContextKind::Insensitive));
+  EXPECT_GE(R->stats().get("pta.pointer-nodes"), 1u);
+  EXPECT_EQ(R->stats().get("pta.objects"), 1u);
+  EXPECT_EQ(R->stats().get("pta.instances"), 1u);
+  EXPECT_FALSE(R->hitBudget());
+}
+
+TEST(PointerAnalysisTest, NodeBudgetStopsSolver) {
+  auto M = parseProgram(R"(
+    class A { field f: A; }
+    func main() {
+      var a: A;
+      var b: A;
+      var c: A;
+      a = new A;
+      b = new A;
+      c = new A;
+      a.f = b;
+      b.f = c;
+    }
+  )");
+  PTAOptions Opts = optsFor(ContextKind::Insensitive);
+  Opts.NodeBudget = 2;
+  auto R = runPointerAnalysis(*M, Opts);
+  EXPECT_TRUE(R->hitBudget());
+}
+
+TEST(PointerAnalysisTest, OptionNames) {
+  EXPECT_EQ(optsFor(ContextKind::Insensitive).name(), "0-ctx");
+  EXPECT_EQ(optsFor(ContextKind::KCallsite, 2).name(), "2-cfa");
+  EXPECT_EQ(optsFor(ContextKind::KObject, 1).name(), "1-obj");
+  EXPECT_EQ(optsFor(ContextKind::Origin, 1).name(), "1-origin");
+}
+
+} // namespace

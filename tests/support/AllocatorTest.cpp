@@ -1,0 +1,85 @@
+//===- AllocatorTest.cpp - BumpPtrAllocator/StringSaver unit tests ----------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/Support/Allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+using o2::BumpPtrAllocator;
+using o2::StringSaver;
+
+namespace {
+
+TEST(BumpPtrAllocatorTest, AllocatesAligned) {
+  BumpPtrAllocator Alloc;
+  void *P1 = Alloc.allocate(1, 1);
+  void *P8 = Alloc.allocate(8, 8);
+  void *P16 = Alloc.allocate(16, 16);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P8) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P16) % 16, 0u);
+  EXPECT_NE(P1, nullptr);
+}
+
+TEST(BumpPtrAllocatorTest, DistinctAllocations) {
+  BumpPtrAllocator Alloc;
+  int *A = Alloc.allocate<int>();
+  int *B = Alloc.allocate<int>();
+  *A = 1;
+  *B = 2;
+  EXPECT_NE(A, B);
+  EXPECT_EQ(*A, 1);
+  EXPECT_EQ(*B, 2);
+}
+
+TEST(BumpPtrAllocatorTest, SpillsToNewSlab) {
+  BumpPtrAllocator Alloc(/*SlabSize=*/128);
+  // Allocate more than one slab's worth.
+  for (int I = 0; I < 100; ++I)
+    Alloc.allocate(16, 8);
+  EXPECT_GT(Alloc.numSlabs(), 1u);
+  EXPECT_GE(Alloc.bytesAllocated(), 1600u);
+}
+
+TEST(BumpPtrAllocatorTest, OversizedAllocationGetsOwnSlab) {
+  BumpPtrAllocator Alloc(/*SlabSize=*/64);
+  void *Big = Alloc.allocate(1024, 8);
+  EXPECT_NE(Big, nullptr);
+  // The slab must fit the request.
+  std::memset(Big, 0xAB, 1024);
+}
+
+TEST(BumpPtrAllocatorTest, CreateConstructsInPlace) {
+  BumpPtrAllocator Alloc;
+  struct Point {
+    int X, Y;
+    Point(int X, int Y) : X(X), Y(Y) {}
+  };
+  Point *P = Alloc.create<Point>(3, 4);
+  EXPECT_EQ(P->X, 3);
+  EXPECT_EQ(P->Y, 4);
+}
+
+TEST(StringSaverTest, SavesCopies) {
+  BumpPtrAllocator Alloc;
+  StringSaver Saver(Alloc);
+  std::string Temp = "hello";
+  std::string_view Saved = Saver.save(Temp);
+  Temp = "goodbye";
+  EXPECT_EQ(Saved, "hello");
+}
+
+TEST(StringSaverTest, NulTerminated) {
+  BumpPtrAllocator Alloc;
+  StringSaver Saver(Alloc);
+  std::string_view S = Saver.save("abc");
+  EXPECT_EQ(S.data()[3], '\0');
+}
+
+} // namespace

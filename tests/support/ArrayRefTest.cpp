@@ -1,0 +1,82 @@
+//===- ArrayRefTest.cpp - ArrayRef unit tests -------------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/Support/ArrayRef.h"
+
+#include <gtest/gtest.h>
+
+using o2::ArrayRef;
+using o2::SmallVector;
+
+namespace {
+
+TEST(ArrayRefTest, DefaultIsEmpty) {
+  ArrayRef<int> A;
+  EXPECT_TRUE(A.empty());
+  EXPECT_EQ(A.size(), 0u);
+}
+
+TEST(ArrayRefTest, FromCArray) {
+  int Arr[] = {1, 2, 3};
+  ArrayRef<int> A(Arr);
+  EXPECT_EQ(A.size(), 3u);
+  EXPECT_EQ(A[0], 1);
+  EXPECT_EQ(A.back(), 3);
+}
+
+TEST(ArrayRefTest, FromVector) {
+  std::vector<int> V = {4, 5};
+  ArrayRef<int> A(V);
+  EXPECT_EQ(A.size(), 2u);
+  EXPECT_EQ(A.data(), V.data());
+}
+
+TEST(ArrayRefTest, FromSmallVector) {
+  SmallVector<int, 4> V = {7, 8, 9};
+  ArrayRef<int> A(V);
+  EXPECT_EQ(A.size(), 3u);
+  EXPECT_EQ(A[2], 9);
+}
+
+TEST(ArrayRefTest, FromSingleElement) {
+  int X = 42;
+  ArrayRef<int> A(X);
+  EXPECT_EQ(A.size(), 1u);
+  EXPECT_EQ(A[0], 42);
+}
+
+TEST(ArrayRefTest, SliceAndDropFront) {
+  int Arr[] = {0, 1, 2, 3, 4};
+  ArrayRef<int> A(Arr);
+  ArrayRef<int> S = A.slice(1, 3);
+  EXPECT_EQ(S.size(), 3u);
+  EXPECT_EQ(S[0], 1);
+  EXPECT_EQ(S[2], 3);
+  ArrayRef<int> D = A.drop_front(2);
+  EXPECT_EQ(D.size(), 3u);
+  EXPECT_EQ(D[0], 2);
+}
+
+TEST(ArrayRefTest, Equality) {
+  int X[] = {1, 2, 3};
+  int Y[] = {1, 2, 3};
+  int Z[] = {1, 2, 4};
+  EXPECT_TRUE(ArrayRef<int>(X) == ArrayRef<int>(Y));
+  EXPECT_FALSE(ArrayRef<int>(X) == ArrayRef<int>(Z));
+  EXPECT_FALSE(ArrayRef<int>(X) == ArrayRef<int>(X, 2));
+}
+
+TEST(ArrayRefTest, RangeFor) {
+  int Arr[] = {1, 2, 3};
+  int Sum = 0;
+  for (int V : ArrayRef<int>(Arr))
+    Sum += V;
+  EXPECT_EQ(Sum, 6);
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+//===- CastingTest.cpp - isa/cast/dyn_cast unit tests ----------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/Support/Casting.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct Shape {
+  enum Kind { K_Circle, K_Square, K_RoundedSquare };
+  explicit Shape(Kind K) : TheKind(K) {}
+  Kind getKind() const { return TheKind; }
+
+private:
+  Kind TheKind;
+};
+
+struct Circle : Shape {
+  Circle() : Shape(K_Circle) {}
+  static bool classof(const Shape *S) { return S->getKind() == K_Circle; }
+};
+
+struct Square : Shape {
+  explicit Square(Kind K = K_Square) : Shape(K) {}
+  static bool classof(const Shape *S) {
+    return S->getKind() == K_Square || S->getKind() == K_RoundedSquare;
+  }
+};
+
+struct RoundedSquare : Square {
+  RoundedSquare() : Square(K_RoundedSquare) {}
+  static bool classof(const Shape *S) {
+    return S->getKind() == K_RoundedSquare;
+  }
+};
+
+TEST(CastingTest, IsaOnExactType) {
+  Circle C;
+  Shape *S = &C;
+  EXPECT_TRUE(o2::isa<Circle>(S));
+  EXPECT_FALSE(o2::isa<Square>(S));
+}
+
+TEST(CastingTest, IsaOnIntermediateType) {
+  RoundedSquare RS;
+  Shape *S = &RS;
+  EXPECT_TRUE(o2::isa<Square>(S));
+  EXPECT_TRUE(o2::isa<RoundedSquare>(S));
+  EXPECT_FALSE(o2::isa<Circle>(S));
+}
+
+TEST(CastingTest, IsaReference) {
+  Square Sq;
+  const Shape &S = Sq;
+  EXPECT_TRUE(o2::isa<Square>(S));
+  EXPECT_FALSE(o2::isa<RoundedSquare>(S));
+}
+
+TEST(CastingTest, VariadicIsa) {
+  Circle C;
+  Shape *S = &C;
+  bool Result = o2::isa<Square, Circle>(S);
+  EXPECT_TRUE(Result);
+  Result = o2::isa<Square, RoundedSquare>(S);
+  EXPECT_FALSE(Result);
+}
+
+TEST(CastingTest, CastReturnsSamePointer) {
+  RoundedSquare RS;
+  Shape *S = &RS;
+  EXPECT_EQ(o2::cast<Square>(S), &RS);
+  EXPECT_EQ(o2::cast<RoundedSquare>(S), &RS);
+}
+
+TEST(CastingTest, CastConstPointer) {
+  Circle C;
+  const Shape *S = &C;
+  const Circle *CC = o2::cast<Circle>(S);
+  EXPECT_EQ(CC, &C);
+}
+
+TEST(CastingTest, DynCastSuccessAndFailure) {
+  Square Sq;
+  Shape *S = &Sq;
+  EXPECT_EQ(o2::dyn_cast<Square>(S), &Sq);
+  EXPECT_EQ(o2::dyn_cast<Circle>(S), nullptr);
+  EXPECT_EQ(o2::dyn_cast<RoundedSquare>(S), nullptr);
+}
+
+TEST(CastingTest, UpcastIsAlwaysTrue) {
+  RoundedSquare RS;
+  // isa<Shape> on a Shape-derived pointer needs no classof.
+  EXPECT_TRUE(o2::isa<Shape>(static_cast<Square *>(&RS)));
+}
+
+TEST(CastingTest, PresentVariants) {
+  Shape *Null = nullptr;
+  EXPECT_FALSE(o2::isa_and_present<Circle>(Null));
+  EXPECT_EQ(o2::dyn_cast_if_present<Circle>(Null), nullptr);
+
+  Circle C;
+  Shape *S = &C;
+  EXPECT_TRUE(o2::isa_and_present<Circle>(S));
+  EXPECT_EQ(o2::dyn_cast_if_present<Circle>(S), &C);
+}
+
+} // namespace

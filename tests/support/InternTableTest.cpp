@@ -1,0 +1,87 @@
+//===- InternTableTest.cpp - InternTable unit tests --------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/Support/InternTable.h"
+
+#include <gtest/gtest.h>
+
+using o2::ArrayRef;
+using o2::InternTable;
+
+namespace {
+
+TEST(InternTableTest, EmptyIsHandleZero) {
+  InternTable T;
+  EXPECT_EQ(T.intern({}), InternTable::Empty);
+  EXPECT_TRUE(T.get(InternTable::Empty).empty());
+}
+
+TEST(InternTableTest, InternIsIdempotent) {
+  InternTable T;
+  uint32_t Seq[] = {1, 2, 3};
+  auto H1 = T.intern(Seq);
+  auto H2 = T.intern(Seq);
+  EXPECT_EQ(H1, H2);
+  EXPECT_EQ(T.size(), 2u); // empty + one sequence
+}
+
+TEST(InternTableTest, DistinctSequencesDistinctHandles) {
+  InternTable T;
+  uint32_t A[] = {1, 2};
+  uint32_t B[] = {2, 1};
+  uint32_t C[] = {1, 2, 0};
+  auto HA = T.intern(A);
+  auto HB = T.intern(B);
+  auto HC = T.intern(C);
+  EXPECT_NE(HA, HB);
+  EXPECT_NE(HA, HC);
+  EXPECT_NE(HB, HC);
+}
+
+TEST(InternTableTest, GetReturnsElements) {
+  InternTable T;
+  uint32_t Seq[] = {10, 20, 30};
+  auto H = T.intern(Seq);
+  ArrayRef<uint32_t> Got = T.get(H);
+  ASSERT_EQ(Got.size(), 3u);
+  EXPECT_EQ(Got[0], 10u);
+  EXPECT_EQ(Got[1], 20u);
+  EXPECT_EQ(Got[2], 30u);
+}
+
+TEST(InternTableTest, ManySequences) {
+  InternTable T;
+  std::vector<InternTable::Handle> Handles;
+  for (uint32_t I = 0; I < 1000; ++I) {
+    uint32_t Seq[] = {I, I * 7, I * 13};
+    Handles.push_back(T.intern(Seq));
+  }
+  // All distinct and retrievable.
+  for (uint32_t I = 0; I < 1000; ++I) {
+    ArrayRef<uint32_t> Got = T.get(Handles[I]);
+    ASSERT_EQ(Got.size(), 3u);
+    EXPECT_EQ(Got[0], I);
+    EXPECT_EQ(Got[1], I * 7);
+    EXPECT_EQ(Got[2], I * 13);
+  }
+  // Re-interning returns the same handles.
+  for (uint32_t I = 0; I < 1000; ++I) {
+    uint32_t Seq[] = {I, I * 7, I * 13};
+    EXPECT_EQ(T.intern(Seq), Handles[I]);
+  }
+}
+
+TEST(InternTableTest, SingleElementSequences) {
+  InternTable T;
+  uint32_t X = 5;
+  auto H = T.intern(ArrayRef<uint32_t>(X));
+  EXPECT_EQ(T.get(H).size(), 1u);
+  EXPECT_EQ(T.get(H)[0], 5u);
+}
+
+} // namespace

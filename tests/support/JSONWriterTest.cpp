@@ -1,0 +1,93 @@
+//===- JSONWriterTest.cpp - JSONWriter unit tests -----------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/Support/JSONWriter.h"
+
+#include <gtest/gtest.h>
+
+using namespace o2;
+
+namespace {
+
+std::string render(void (*Fn)(JSONWriter &)) {
+  std::string Buf;
+  StringOutputStream OS(Buf);
+  JSONWriter W(OS);
+  Fn(W);
+  return Buf;
+}
+
+TEST(JSONWriterTest, EmptyObjectAndArray) {
+  EXPECT_EQ(render([](JSONWriter &W) {
+              W.beginObject();
+              W.endObject();
+            }),
+            "{}");
+  EXPECT_EQ(render([](JSONWriter &W) {
+              W.beginArray();
+              W.endArray();
+            }),
+            "[]");
+}
+
+TEST(JSONWriterTest, ObjectAttributes) {
+  std::string Out = render([](JSONWriter &W) {
+    W.beginObject();
+    W.attribute("name", "o2");
+    W.attribute("races", 42u);
+    W.attribute("sound", true);
+    W.endObject();
+  });
+  EXPECT_EQ(Out, R"({"name":"o2","races":42,"sound":true})");
+}
+
+TEST(JSONWriterTest, NestedStructures) {
+  std::string Out = render([](JSONWriter &W) {
+    W.beginObject();
+    W.key("list");
+    W.beginArray();
+    W.value(1);
+    W.value(2);
+    W.beginObject();
+    W.attribute("k", "v");
+    W.endObject();
+    W.endArray();
+    W.endObject();
+  });
+  EXPECT_EQ(Out, R"({"list":[1,2,{"k":"v"}]})");
+}
+
+TEST(JSONWriterTest, StringEscaping) {
+  std::string Out = render([](JSONWriter &W) {
+    W.beginObject();
+    W.attribute("s", "a\"b\\c\nd\te");
+    W.endObject();
+  });
+  EXPECT_EQ(Out, "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(JSONWriterTest, ControlCharacterEscaping) {
+  std::string Out = render([](JSONWriter &W) {
+    W.beginArray();
+    W.value(std::string_view("\x01", 1));
+    W.endArray();
+  });
+  EXPECT_EQ(Out, "[\"\\u0001\"]");
+}
+
+TEST(JSONWriterTest, NegativeAndNull) {
+  std::string Out = render([](JSONWriter &W) {
+    W.beginArray();
+    W.value(int64_t(-7));
+    W.nullValue();
+    W.endArray();
+  });
+  EXPECT_EQ(Out, "[-7,null]");
+}
+
+} // namespace

@@ -1,0 +1,72 @@
+//===- OutputStreamTest.cpp - OutputStream unit tests ------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/Support/OutputStream.h"
+
+#include <gtest/gtest.h>
+
+using o2::StringOutputStream;
+
+namespace {
+
+TEST(OutputStreamTest, Strings) {
+  std::string Buf;
+  StringOutputStream OS(Buf);
+  OS << "hello" << ' ' << std::string("world");
+  EXPECT_EQ(Buf, "hello world");
+}
+
+TEST(OutputStreamTest, Integers) {
+  std::string Buf;
+  StringOutputStream OS(Buf);
+  OS << 42 << ' ' << -7 << ' ' << uint64_t(1) << ' ' << int64_t(-1);
+  EXPECT_EQ(Buf, "42 -7 1 -1");
+}
+
+TEST(OutputStreamTest, LargeIntegers) {
+  std::string Buf;
+  StringOutputStream OS(Buf);
+  OS << uint64_t(18446744073709551615ULL);
+  EXPECT_EQ(Buf, "18446744073709551615");
+}
+
+TEST(OutputStreamTest, Double) {
+  std::string Buf;
+  StringOutputStream OS(Buf);
+  OS << 1.5;
+  EXPECT_EQ(Buf, "1.5");
+}
+
+TEST(OutputStreamTest, Bool) {
+  std::string Buf;
+  StringOutputStream OS(Buf);
+  OS << true << ' ' << false;
+  EXPECT_EQ(Buf, "true false");
+}
+
+TEST(OutputStreamTest, Indent) {
+  std::string Buf;
+  StringOutputStream OS(Buf);
+  OS.indent(4) << "x";
+  EXPECT_EQ(Buf, "    x");
+}
+
+TEST(OutputStreamTest, LongIndent) {
+  std::string Buf;
+  StringOutputStream OS(Buf);
+  OS.indent(70);
+  EXPECT_EQ(Buf.size(), 70u);
+}
+
+TEST(OutputStreamTest, OutsErrsExist) {
+  // Smoke test: the global streams are constructible and writable.
+  o2::outs() << "";
+  o2::errs() << "";
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+//===- SmallVectorTest.cpp - SmallVector unit tests -------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/Support/SmallVector.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <string>
+
+using o2::SmallVector;
+using o2::SmallVectorImpl;
+
+namespace {
+
+TEST(SmallVectorTest, EmptyOnConstruction) {
+  SmallVector<int, 4> V;
+  EXPECT_TRUE(V.empty());
+  EXPECT_EQ(V.size(), 0u);
+  EXPECT_EQ(V.begin(), V.end());
+}
+
+TEST(SmallVectorTest, PushBackWithinInlineCapacity) {
+  SmallVector<int, 4> V;
+  for (int I = 0; I < 4; ++I)
+    V.push_back(I);
+  EXPECT_EQ(V.size(), 4u);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(V[static_cast<size_t>(I)], I);
+}
+
+TEST(SmallVectorTest, GrowthBeyondInlineCapacity) {
+  SmallVector<int, 2> V;
+  for (int I = 0; I < 100; ++I)
+    V.push_back(I);
+  EXPECT_EQ(V.size(), 100u);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(V[static_cast<size_t>(I)], I);
+}
+
+TEST(SmallVectorTest, InitializerList) {
+  SmallVector<int, 4> V = {1, 2, 3, 4, 5};
+  EXPECT_EQ(V.size(), 5u);
+  EXPECT_EQ(V.front(), 1);
+  EXPECT_EQ(V.back(), 5);
+}
+
+TEST(SmallVectorTest, NonTrivialElementType) {
+  SmallVector<std::string, 2> V;
+  V.push_back("alpha");
+  V.push_back("beta");
+  V.push_back("gamma"); // forces a grow with moves
+  EXPECT_EQ(V[0], "alpha");
+  EXPECT_EQ(V[1], "beta");
+  EXPECT_EQ(V[2], "gamma");
+}
+
+TEST(SmallVectorTest, MoveOnlyElementType) {
+  SmallVector<std::unique_ptr<int>, 2> V;
+  for (int I = 0; I < 10; ++I)
+    V.push_back(std::make_unique<int>(I));
+  EXPECT_EQ(*V[9], 9);
+  SmallVector<std::unique_ptr<int>, 2> W = std::move(V);
+  EXPECT_EQ(W.size(), 10u);
+  EXPECT_EQ(*W[3], 3);
+}
+
+TEST(SmallVectorTest, PopBackDestroys) {
+  auto Counter = std::make_shared<int>(0);
+  struct Probe {
+    std::shared_ptr<int> C;
+    explicit Probe(std::shared_ptr<int> C) : C(std::move(C)) {}
+    Probe(const Probe &) = default;
+    Probe(Probe &&) = default;
+    ~Probe() {
+      if (C)
+        ++*C;
+    }
+  };
+  {
+    SmallVector<Probe, 2> V;
+    V.emplace_back(Counter);
+    V.pop_back();
+    EXPECT_EQ(*Counter, 1);
+  }
+  EXPECT_EQ(*Counter, 1);
+}
+
+TEST(SmallVectorTest, ClearKeepsCapacity) {
+  SmallVector<int, 2> V;
+  for (int I = 0; I < 50; ++I)
+    V.push_back(I);
+  size_t Cap = V.capacity();
+  V.clear();
+  EXPECT_TRUE(V.empty());
+  EXPECT_EQ(V.capacity(), Cap);
+}
+
+TEST(SmallVectorTest, ResizeGrowAndShrink) {
+  SmallVector<int, 4> V;
+  V.resize(6, 7);
+  EXPECT_EQ(V.size(), 6u);
+  EXPECT_EQ(V[5], 7);
+  V.resize(2);
+  EXPECT_EQ(V.size(), 2u);
+  EXPECT_EQ(V[1], 7);
+}
+
+TEST(SmallVectorTest, AppendRange) {
+  SmallVector<int, 2> V = {1, 2};
+  int More[] = {3, 4, 5};
+  V.append(std::begin(More), std::end(More));
+  EXPECT_EQ(V.size(), 5u);
+  EXPECT_EQ(std::accumulate(V.begin(), V.end(), 0), 15);
+}
+
+TEST(SmallVectorTest, EraseMiddle) {
+  SmallVector<int, 8> V = {1, 2, 3, 4, 5};
+  V.erase(V.begin() + 2);
+  SmallVector<int, 8> Expected = {1, 2, 4, 5};
+  EXPECT_TRUE(V == Expected);
+}
+
+TEST(SmallVectorTest, CopyAssignment) {
+  SmallVector<int, 2> A = {1, 2, 3};
+  SmallVector<int, 2> B;
+  B = A;
+  EXPECT_TRUE(A == B);
+  B.push_back(4);
+  EXPECT_EQ(A.size(), 3u);
+}
+
+TEST(SmallVectorTest, MoveAssignmentStealsHeap) {
+  SmallVector<int, 2> A;
+  for (int I = 0; I < 64; ++I)
+    A.push_back(I);
+  const int *Data = A.data();
+  SmallVector<int, 2> B;
+  B = std::move(A);
+  EXPECT_EQ(B.data(), Data); // heap buffer stolen, no copy
+  EXPECT_EQ(B.size(), 64u);
+  EXPECT_TRUE(A.empty());
+}
+
+TEST(SmallVectorTest, UsableThroughImplBase) {
+  SmallVector<int, 4> V = {1, 2};
+  SmallVectorImpl<int> &Impl = V;
+  Impl.push_back(3);
+  EXPECT_EQ(V.size(), 3u);
+  EXPECT_EQ(Impl.back(), 3);
+}
+
+TEST(SmallVectorTest, IterationOrder) {
+  SmallVector<int, 4> V = {10, 20, 30};
+  int Sum = 0;
+  for (int X : V)
+    Sum = Sum * 100 + X;
+  EXPECT_EQ(Sum, 102030);
+}
+
+} // namespace

@@ -1,0 +1,50 @@
+//===- StatisticTest.cpp - StatisticRegistry unit tests ----------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/Support/Statistic.h"
+
+#include "o2/Support/OutputStream.h"
+
+#include <gtest/gtest.h>
+
+using o2::StatisticRegistry;
+using o2::StringOutputStream;
+
+namespace {
+
+TEST(StatisticTest, StartsEmpty) {
+  StatisticRegistry R;
+  EXPECT_TRUE(R.empty());
+  EXPECT_EQ(R.get("anything"), 0u);
+}
+
+TEST(StatisticTest, AddAndGet) {
+  StatisticRegistry R;
+  R.add("pta.edges");
+  R.add("pta.edges", 4);
+  EXPECT_EQ(R.get("pta.edges"), 5u);
+}
+
+TEST(StatisticTest, SetOverrides) {
+  StatisticRegistry R;
+  R.add("x", 10);
+  R.set("x", 3);
+  EXPECT_EQ(R.get("x"), 3u);
+}
+
+TEST(StatisticTest, PrintSortedByName) {
+  StatisticRegistry R;
+  R.add("zeta", 1);
+  R.add("alpha", 2);
+  std::string Buf;
+  StringOutputStream OS(Buf);
+  R.print(OS);
+  EXPECT_EQ(Buf, "2  alpha\n1  zeta\n");
+}
+
+} // namespace

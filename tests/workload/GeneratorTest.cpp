@@ -1,0 +1,131 @@
+//===- GeneratorTest.cpp - workload generator unit tests --------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/Workload/Generator.h"
+
+#include "o2/IR/Printer.h"
+#include "o2/IR/Verifier.h"
+#include "o2/PTA/PointerAnalysis.h"
+
+#include <gtest/gtest.h>
+
+using namespace o2;
+
+namespace {
+
+TEST(GeneratorTest, Deterministic) {
+  WorkloadProfile P;
+  P.Seed = 7;
+  auto M1 = generateWorkload(P);
+  auto M2 = generateWorkload(P);
+  EXPECT_EQ(printModule(*M1), printModule(*M2));
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  WorkloadProfile A, B;
+  A.Seed = 1;
+  B.Seed = 2;
+  // Different seeds shuffle the leaf access targets.
+  A.ReadsPerOrigin = 6;
+  B.ReadsPerOrigin = 6;
+  A.ReadOnlyObjects = 5;
+  B.ReadOnlyObjects = 5;
+  EXPECT_NE(printModule(*generateWorkload(A)),
+            printModule(*generateWorkload(B)));
+}
+
+TEST(GeneratorTest, GeneratedModulesVerify) {
+  WorkloadProfile P;
+  P.NumThreads = 3;
+  P.NumEventHandlers = 2;
+  P.NestedSpawnDepth = 2;
+  P.SpawnInLoop = true;
+  P.PaddingFunctions = 5;
+  auto M = generateWorkload(P);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(*M, Errors))
+      << (Errors.empty() ? "?" : Errors.front());
+}
+
+TEST(GeneratorTest, AllBenchmarkProfilesVerify) {
+  for (const WorkloadProfile &P : benchmarkProfiles()) {
+    auto M = generateWorkload(P);
+    std::vector<std::string> Errors;
+    EXPECT_TRUE(verifyModule(*M, Errors))
+        << P.Name << ": " << (Errors.empty() ? "?" : Errors.front());
+    EXPECT_GT(M->numProgramStmts(), 0u);
+  }
+}
+
+TEST(GeneratorTest, OriginCountMatchesProfile) {
+  WorkloadProfile P;
+  P.NumThreads = 5;
+  P.NumEventHandlers = 3;
+  auto M = generateWorkload(P);
+  PTAOptions Opts;
+  Opts.Kind = ContextKind::Origin;
+  auto R = runPointerAnalysis(*M, Opts);
+  // main + threads + events.
+  EXPECT_EQ(R->origins().size(), 1u + 5u + 3u);
+}
+
+TEST(GeneratorTest, NestedSpawnsCreateNestedOrigins) {
+  WorkloadProfile P;
+  P.NumThreads = 0;
+  P.NumEventHandlers = 0;
+  P.NestedSpawnDepth = 3;
+  auto M = generateWorkload(P);
+  PTAOptions Opts;
+  Opts.Kind = ContextKind::Origin;
+  Opts.K = 3;
+  auto R = runPointerAnalysis(*M, Opts);
+  EXPECT_EQ(R->origins().size(), 1u + 3u);
+  // The innermost origin's context chain has depth 3 under 3-origin.
+  bool SawDepth3 = false;
+  for (const OriginInfo &O : R->origins().origins())
+    if (O.Kind != OriginKind::Main &&
+        R->contexts().get(R->originCtx(O.Id)).size() == 3)
+      SawDepth3 = true;
+  EXPECT_TRUE(SawDepth3);
+}
+
+TEST(GeneratorTest, LoopSpawnDuplicatesOrigins) {
+  WorkloadProfile P;
+  P.NumThreads = 2;
+  P.SpawnInLoop = true;
+  auto M = generateWorkload(P);
+  PTAOptions Opts;
+  Opts.Kind = ContextKind::Origin;
+  auto R = runPointerAnalysis(*M, Opts);
+  // Each in-loop allocation yields two origins.
+  EXPECT_EQ(R->origins().size(), 1u + 2u * 2u);
+}
+
+TEST(GeneratorTest, ProfileLookup) {
+  EXPECT_NE(findProfile("avrora"), nullptr);
+  EXPECT_NE(findProfile("telegram"), nullptr);
+  EXPECT_EQ(findProfile("telegram")->NumEventHandlers +
+                findProfile("telegram")->NumThreads,
+            134u);
+  EXPECT_EQ(findProfile("nope"), nullptr);
+  // Profile names are unique.
+  std::set<std::string> Names;
+  for (const WorkloadProfile &P : benchmarkProfiles())
+    EXPECT_TRUE(Names.insert(P.Name).second);
+}
+
+TEST(GeneratorTest, PaddingScalesProgramSize) {
+  WorkloadProfile Small, Large;
+  Small.PaddingFunctions = 0;
+  Large.PaddingFunctions = 50;
+  auto MS = generateWorkload(Small);
+  auto ML = generateWorkload(Large);
+  EXPECT_GT(ML->numProgramStmts(), MS->numProgramStmts() + 50 * 30);
+}
+
+} // namespace
