@@ -15,6 +15,9 @@
 // Options:
 //   --ctx=<0-ctx|cfa|obj|origin>    context abstraction (default origin)
 //   --k=<n>                         context depth (default 1)
+//   --solver=<wave|worklist>        PTA constraint engine (default wave)
+//   --stats                         print per-phase timings and analysis
+//                                   statistics as one JSON object line
 //   --no-serialize-events           disable the Section 4.2 treatment
 //   --naive                         disable all detector optimizations
 //   --racerd                        also run the syntactic baseline
@@ -56,6 +59,7 @@ struct CliOptions {
   bool Deadlocks = false;
   bool OverSync = false;
   bool JSON = false;
+  bool Stats = false;
   bool DotCallGraph = false;
   bool DotSHB = false;
   O2Config Config;
@@ -87,6 +91,18 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       }
     } else if (Arg.rfind("--k=", 0) == 0) {
       Cli.Config.PTA.K = static_cast<unsigned>(std::stoul(Value("--k=")));
+    } else if (Arg.rfind("--solver=", 0) == 0) {
+      std::string Solver = Value("--solver=");
+      if (Solver == "wave")
+        Cli.Config.PTA.Solver = SolverKind::Wave;
+      else if (Solver == "worklist")
+        Cli.Config.PTA.Solver = SolverKind::Worklist;
+      else {
+        errs() << "error: unknown solver '" << Solver << "'\n";
+        return false;
+      }
+    } else if (Arg == "--stats") {
+      Cli.Stats = true;
     } else if (Arg == "--no-serialize-events") {
       Cli.Config.Detector.SHB.SerializeEventHandlers = false;
     } else if (Arg == "--naive") {
@@ -200,6 +216,12 @@ int main(int Argc, char **Argv) {
   }
   if (Cli.JSON) {
     Result.Races.printJSON(outs(), *Result.PTA);
+    if (Cli.Stats)
+      Result.printStatsJSON(outs());
+    return Result.Races.numRaces() == 0 ? 0 : 2;
+  }
+  if (Cli.Stats) {
+    Result.printStatsJSON(outs());
     return Result.Races.numRaces() == 0 ? 0 : 2;
   }
 

@@ -63,6 +63,12 @@ struct O2Analysis {
 
   /// One-paragraph summary: phases, sizes, race count.
   void printSummary(OutputStream &OS) const;
+
+  /// One flat JSON object with per-phase wall-clock times in
+  /// milliseconds ("time.pta-ms", "time.osa-ms", "time.shb-ms",
+  /// "time.race-ms", "time.total-ms") followed by every PTA and race
+  /// statistic, for machine consumption (o2cli --stats, BENCH_*.json).
+  void printStatsJSON(OutputStream &OS) const;
 };
 
 /// Runs the configured pipeline over \p M (which must verify).

@@ -89,7 +89,12 @@ public:
   }
 
   /// this |= RHS. Returns true if any bit changed.
-  bool unionWith(const BitVector &RHS) {
+  bool unionWith(const BitVector &RHS) { return unionWithChanged(RHS); }
+
+  /// this |= RHS, word-at-a-time; returns true if any bit was newly added.
+  /// The name documents call sites that rely on the bulk word-level path
+  /// (bulk points-to propagation) rather than per-bit set() loops.
+  bool unionWithChanged(const BitVector &RHS) {
     ensureSize(RHS.NumBits);
     bool Changed = false;
     for (size_t I = 0, E = RHS.Words.size(); I != E; ++I) {
@@ -98,6 +103,50 @@ public:
       Changed |= Words[I] != Old;
     }
     return Changed;
+  }
+
+  /// this |= RHS; the bits newly added here (RHS & ~old(this)) are also
+  /// OR'd into \p NewBits. Returns true if any bit was added. Safe when
+  /// &RHS == this (a self-union adds nothing); \p NewBits must be a
+  /// distinct vector.
+  bool unionWithDiff(const BitVector &RHS, BitVector &NewBits) {
+    ensureSize(RHS.NumBits);
+    NewBits.ensureSize(RHS.NumBits);
+    bool Changed = false;
+    for (size_t I = 0, E = RHS.Words.size(); I != E; ++I) {
+      Word Added = RHS.Words[I] & ~Words[I];
+      if (!Added)
+        continue;
+      Words[I] |= Added;
+      NewBits.Words[I] |= Added;
+      Changed = true;
+    }
+    return Changed;
+  }
+
+  /// Returns this & ~RHS (the bits only this vector has).
+  BitVector diff(const BitVector &RHS) const {
+    BitVector Out;
+    Out.NumBits = NumBits;
+    Out.Words.resize(Words.size());
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Out.Words[I] = Words[I] & ~(I < RHS.Words.size() ? RHS.Words[I] : 0);
+    return Out;
+  }
+
+  /// Calls \p Callback(WordIndex, WordValue) for every nonzero word.
+  template <typename CallbackT> void forEachSetWord(CallbackT Callback) const {
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      if (Words[I])
+        Callback(I, Words[I]);
+  }
+
+  /// Number of nonzero words (the unit bulk-propagation statistics count).
+  unsigned numSetWords() const {
+    unsigned N = 0;
+    for (Word W : Words)
+      N += W != 0;
+    return N;
   }
 
   /// this &= RHS.

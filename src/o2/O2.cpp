@@ -8,6 +8,7 @@
 
 #include "o2/O2.h"
 
+#include "o2/Support/JSONWriter.h"
 #include "o2/Support/OutputStream.h"
 #include "o2/Support/Timer.h"
 
@@ -53,4 +54,25 @@ void O2Analysis::printSummary(OutputStream &OS) const {
   OS << "  SHB: " << SHB.numThreads() << " threads, "
      << SHB.numAccessEvents() << " access events (" << SHBSeconds << "s)\n";
   OS << "  races: " << Races.numRaces() << " (" << DetectSeconds << "s)\n";
+}
+
+void O2Analysis::printStatsJSON(OutputStream &OS) const {
+  JSONWriter W(OS);
+  W.beginObject();
+  W.attribute("module", PTA->module().getName());
+  W.attribute("config", PTA->options().name());
+  W.attribute("solver", PTA->options().Solver == SolverKind::Wave
+                            ? "wave"
+                            : "worklist");
+  W.attribute("time.pta-ms", PTASeconds * 1000.0);
+  W.attribute("time.osa-ms", OSASeconds * 1000.0);
+  W.attribute("time.shb-ms", SHBSeconds * 1000.0);
+  W.attribute("time.race-ms", DetectSeconds * 1000.0);
+  W.attribute("time.total-ms", totalSeconds() * 1000.0);
+  for (const auto &[Name, Value] : PTA->stats().counters())
+    W.attribute(Name, Value);
+  for (const auto &[Name, Value] : Races.stats().counters())
+    W.attribute(Name, Value);
+  W.endObject();
+  OS << '\n';
 }

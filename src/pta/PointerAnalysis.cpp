@@ -6,12 +6,31 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Andersen-style worklist solver over ⟨variable, context⟩ nodes with an
-// on-the-fly call graph. The context abstraction is selected by
-// PTAOptions::Kind; under ContextKind::Origin this implements the paper's
-// OPA (Table 2), including the inter-origin context switches at origin
-// allocations (rule ❽) and origin entry invocations (rule ❾), the
+// Andersen-style inclusion-constraint solver over ⟨variable, context⟩
+// nodes with an on-the-fly call graph. The context abstraction is selected
+// by PTAOptions::Kind; under ContextKind::Origin this implements the
+// paper's OPA (Table 2), including the inter-origin context switches at
+// origin allocations (rule ❽) and origin entry invocations (rule ❾), the
 // 1-call-site wrapper extension, and loop duplication of origins.
+//
+// Solving alternates two steps until fixpoint:
+//
+//   propagate  — close the current copy-edge graph (engine-specific):
+//                  Worklist: FIFO worklist, object-at-a-time (baseline);
+//                  Wave: collapse copy-edge SCCs via union-find, then push
+//                  each node's delta once in topological order with
+//                  word-level BitVector unions.
+//   applyRound — against the closed (schedule-independent) state, freeze
+//                every use node's outstanding ⟨objects × loads/stores/
+//                calls⟩ work, then apply it in node order, deriving new
+//                edges, objects, contexts, and call targets.
+//
+// Because a closure of a fixed inclusion system is its unique least
+// solution, the frozen state each round — and hence the whole discovery
+// sequence (node, object, context, origin, and call-target creation
+// order) — is independent of the propagation engine. Both engines
+// therefore produce bit-identical PTAResults, which the solver-equivalence
+// test (tests/pta/SolverEquivalenceTest.cpp) checks end to end.
 //
 //===----------------------------------------------------------------------===//
 
@@ -62,8 +81,8 @@ constexpr uint32_t WrapperElemBit = 0x80000000u;
 } // namespace
 
 namespace o2 {
-/// The worklist solver. Lives in namespace o2 (not file-local) because it
-/// is the befriended builder of PTAResult.
+/// The constraint solver. Lives in namespace o2 (not file-local) because
+/// it is the befriended builder of PTAResult.
 class PTASolver {
 public:
   PTASolver(const Module &M, const PTAOptions &Opts)
@@ -81,7 +100,11 @@ public:
     const Function *Main = M.getMain();
     assert(Main && "module must have a main() (run the verifier first)");
     processFunction(Main, InternTable::Empty);
-    solve();
+    do {
+      propagate();
+    } while (applyRound());
+    if (Stopped)
+      propagate(); // bring the partial result to a closure for finalize
     finalizeStats();
     return std::move(R);
   }
@@ -92,20 +115,43 @@ private:
   //===--------------------------------------------------------------------===//
 
   struct Node {
+    /// Full points-to set. Under the wave engine only the SCC
+    /// representative's set is authoritative; collapsed members are
+    /// rebuilt from their representative at finalization.
     BitVector Pts;
-    BitVector Pending;
+    /// Bits not yet pushed along outgoing copy edges (rep-owned).
+    BitVector PropDelta;
+    /// Bits already handed to this node's Loads/Stores/Calls by earlier
+    /// discovery rounds. Maintained per original node, never merged.
+    BitVector Applied;
     std::vector<unsigned> Succs;
     /// Field loads/stores waiting on base objects: (field key, other node).
     std::vector<std::pair<FieldKey, unsigned>> Loads;
     std::vector<std::pair<FieldKey, unsigned>> Stores;
     /// Virtual calls / spawns waiting on receiver objects.
     std::vector<std::pair<const Stmt *, Ctx>> Calls;
+    /// Prefix of Loads/Stores/Calls that already caught up with Applied;
+    /// uses registered after the last round instead receive the full
+    /// frozen set in the next one.
+    unsigned OldLoads = 0;
+    unsigned OldStores = 0;
+    unsigned OldCalls = 0;
+    bool HasUses = false;
     bool Queued = false;
   };
 
   std::vector<Node> Nodes;
+  /// Union-find forest over nodes; the wave engine collapses copy-edge
+  /// SCCs by uniting members into the minimum member index. Stays the
+  /// identity under the worklist engine.
+  std::vector<unsigned> UnionFind;
   std::unordered_set<uint64_t> EdgeSet;
   std::deque<unsigned> Worklist;
+  /// Wave-engine scratch: SCC representatives in topological order.
+  std::vector<unsigned> TopoOrder;
+  uint64_t NumCollapsed = 0;
+  uint64_t NumWaves = 0;
+  uint64_t NumPropWords = 0;
 
   const Module &M;
   PTAOptions Opts;
@@ -251,11 +297,21 @@ private:
 
   unsigned newNode() {
     Nodes.emplace_back();
+    UnionFind.push_back(static_cast<unsigned>(Nodes.size() - 1));
     if (Nodes.size() > Opts.NodeBudget && !Stopped) {
       Stopped = true;
       R->HitBudget = true;
     }
     return static_cast<unsigned>(Nodes.size() - 1);
+  }
+
+  /// SCC representative of \p N (with path halving).
+  unsigned find(unsigned N) {
+    while (UnionFind[N] != N) {
+      UnionFind[N] = UnionFind[UnionFind[N]];
+      N = UnionFind[N];
+    }
+    return N;
   }
 
   unsigned varNode(const Variable *V, Ctx C) {
@@ -301,104 +357,346 @@ private:
   }
 
   //===--------------------------------------------------------------------===//
-  // Constraint primitives
+  // Constraint primitives (shared by both engines)
   //===--------------------------------------------------------------------===//
 
-  void enqueue(unsigned N) {
-    if (!Nodes[N].Queued) {
-      Nodes[N].Queued = true;
-      Worklist.push_back(N);
+  void schedule(unsigned Rep) {
+    if (Opts.Solver != SolverKind::Worklist)
+      return; // the wave engine scans representatives for pending deltas
+    if (!Nodes[Rep].Queued) {
+      Nodes[Rep].Queued = true;
+      Worklist.push_back(Rep);
     }
   }
 
   void addPts(unsigned N, unsigned Obj) {
-    if (Nodes[N].Pts.set(Obj)) {
-      Nodes[N].Pending.set(Obj);
-      enqueue(N);
+    unsigned Rep = find(N);
+    if (Nodes[Rep].Pts.set(Obj)) {
+      Nodes[Rep].PropDelta.set(Obj);
+      schedule(Rep);
     }
   }
 
   void addPtsSet(unsigned N, const BitVector &Objs) {
-    for (unsigned Obj : Objs)
-      addPts(N, Obj);
+    unsigned Rep = find(N);
+    Node &Nd = Nodes[Rep];
+    if (&Nd.Pts == &Objs)
+      return; // self-union (edge inside a collapsed SCC)
+    BitVector New;
+    if (!Nd.Pts.unionWithDiff(Objs, New))
+      return;
+    NumPropWords += New.numSetWords();
+    Nd.PropDelta.unionWithChanged(New);
+    schedule(Rep);
   }
 
   void addCopyEdge(unsigned Src, unsigned Dst) {
     if (Src == Dst)
       return;
+    // Dedup on the original node IDs so the set of registered edges (and
+    // the pta.copy-edges statistic) is identical across engines regardless
+    // of SCC collapse.
     uint64_t Key = (uint64_t(Src) << 32) | Dst;
     if (!EdgeSet.insert(Key).second)
       return;
-    Nodes[Src].Succs.push_back(Dst);
-    for (unsigned Obj : ptsSnapshot(Src))
-      addPts(Dst, Obj);
+    unsigned SrcRep = find(Src);
+    unsigned DstRep = find(Dst);
+    if (SrcRep != DstRep)
+      Nodes[SrcRep].Succs.push_back(DstRep);
+    addPtsSet(Dst, Nodes[SrcRep].Pts);
   }
 
-  /// Snapshots the points-to set of \p N. Handlers that create nodes can
-  /// reallocate the node table, so never iterate a node's bitvector while
-  /// calling them.
-  SmallVector<unsigned, 8> ptsSnapshot(unsigned N) const {
-    SmallVector<unsigned, 8> Objs;
-    for (unsigned Obj : Nodes[N].Pts)
-      Objs.push_back(Obj);
-    return Objs;
-  }
-
+  /// Use registration only records the constraint; the next discovery
+  /// round hands it the full frozen points-to set of its base. Applying
+  /// at registration time would leak the engine's propagation schedule
+  /// into the discovery order and break cross-engine equivalence.
   void registerLoad(unsigned Base, FieldKey FK, unsigned Dst) {
+    Nodes[Base].HasUses = true;
     Nodes[Base].Loads.emplace_back(FK, Dst);
-    for (unsigned Obj : ptsSnapshot(Base))
-      addCopyEdge(fieldNode(Obj, FK), Dst);
   }
 
   void registerStore(unsigned Base, FieldKey FK, unsigned Src) {
+    Nodes[Base].HasUses = true;
     Nodes[Base].Stores.emplace_back(FK, Src);
-    for (unsigned Obj : ptsSnapshot(Base))
-      addCopyEdge(Src, fieldNode(Obj, FK));
   }
 
   void registerCallUse(unsigned Recv, const Stmt *S, Ctx C) {
+    Nodes[Recv].HasUses = true;
     Nodes[Recv].Calls.emplace_back(S, C);
-    // Iterate a snapshot: binding callees can grow this node's pts and
-    // reallocate the node table.
-    for (unsigned Obj : ptsSnapshot(Recv))
-      applyCallToObj(S, C, Obj);
   }
 
   //===--------------------------------------------------------------------===//
-  // Worklist
+  // Discovery rounds
   //===--------------------------------------------------------------------===//
 
-  void solve() {
-    while (!Worklist.empty() && !Stopped) {
+  /// One unit of frozen discovery work: a use node, the objects its
+  /// already-seen uses still owe (Delta), and — when uses were registered
+  /// since the last round — the full closure set those must catch up on.
+  struct WorkItem {
+    unsigned NodeId = 0;
+    SmallVector<unsigned, 8> Delta;
+    SmallVector<unsigned, 8> Full;
+    unsigned LoadsEnd = 0;
+    unsigned StoresEnd = 0;
+    unsigned CallsEnd = 0;
+  };
+
+  /// Freezes every use node's outstanding work against the propagated
+  /// closure, then applies it in ascending node order. Returns true if
+  /// another propagate/apply round is needed. The freeze-then-apply split
+  /// makes the application sequence a pure function of the closure, which
+  /// is the unique least solution of the current constraints and hence
+  /// engine-independent.
+  bool applyRound() {
+    if (Stopped)
+      return false;
+    std::vector<WorkItem> Work;
+    for (unsigned N = 0, E = static_cast<unsigned>(Nodes.size()); N != E;
+         ++N) {
+      Node &Nd = Nodes[N];
+      if (!Nd.HasUses)
+        continue;
+      bool NewUses = Nd.Loads.size() > Nd.OldLoads ||
+                     Nd.Stores.size() > Nd.OldStores ||
+                     Nd.Calls.size() > Nd.OldCalls;
+      const BitVector &Closure = Nodes[find(N)].Pts;
+      BitVector DeltaBits = Closure.diff(Nd.Applied);
+      if (DeltaBits.none() && !NewUses)
+        continue;
+      WorkItem W;
+      W.NodeId = N;
+      for (unsigned Obj : DeltaBits)
+        W.Delta.push_back(Obj);
+      if (NewUses)
+        for (unsigned Obj : Closure)
+          W.Full.push_back(Obj);
+      W.LoadsEnd = static_cast<unsigned>(Nd.Loads.size());
+      W.StoresEnd = static_cast<unsigned>(Nd.Stores.size());
+      W.CallsEnd = static_cast<unsigned>(Nd.Calls.size());
+      Nd.Applied.unionWithChanged(Closure);
+      Work.push_back(std::move(W));
+    }
+    if (Work.empty())
+      return false;
+    for (const WorkItem &W : Work) {
+      if (Stopped)
+        return false;
+      applyUses(W);
+    }
+    return true;
+  }
+
+  void applyUses(const WorkItem &W) {
+    const unsigned N = W.NodeId;
+    const unsigned OldL = Nodes[N].OldLoads;
+    const unsigned OldS = Nodes[N].OldStores;
+    const unsigned OldC = Nodes[N].OldCalls;
+    // Uses from earlier rounds receive only the new objects... (indexed
+    // accesses throughout: handlers create nodes and reallocate Nodes).
+    for (unsigned Obj : W.Delta) {
+      for (unsigned I = 0; I != OldL; ++I) {
+        auto [FK, Dst] = Nodes[N].Loads[I];
+        addCopyEdge(fieldNode(Obj, FK), Dst);
+      }
+      for (unsigned I = 0; I != OldS; ++I) {
+        auto [FK, Src] = Nodes[N].Stores[I];
+        addCopyEdge(Src, fieldNode(Obj, FK));
+      }
+      for (unsigned I = 0; I != OldC; ++I) {
+        auto [S, C] = Nodes[N].Calls[I];
+        applyCallToObj(S, C, Obj);
+      }
+    }
+    // ... while uses registered since the last round catch up on the full
+    // frozen set. Uses registered during this very application (beyond
+    // the frozen *End marks) wait for the next round.
+    for (unsigned Obj : W.Full) {
+      for (unsigned I = OldL; I != W.LoadsEnd; ++I) {
+        auto [FK, Dst] = Nodes[N].Loads[I];
+        addCopyEdge(fieldNode(Obj, FK), Dst);
+      }
+      for (unsigned I = OldS; I != W.StoresEnd; ++I) {
+        auto [FK, Src] = Nodes[N].Stores[I];
+        addCopyEdge(Src, fieldNode(Obj, FK));
+      }
+      for (unsigned I = OldC; I != W.CallsEnd; ++I) {
+        auto [S, C] = Nodes[N].Calls[I];
+        applyCallToObj(S, C, Obj);
+      }
+    }
+    Nodes[N].OldLoads = W.LoadsEnd;
+    Nodes[N].OldStores = W.StoresEnd;
+    Nodes[N].OldCalls = W.CallsEnd;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Propagation engines
+  //===--------------------------------------------------------------------===//
+
+  /// Closes the current copy-edge graph: afterwards every node's
+  /// (representative's) Pts is the least solution of the registered
+  /// edges and direct facts, and no deltas are pending.
+  void propagate() {
+    if (Opts.Solver == SolverKind::Worklist)
+      propagateWorklist();
+    else
+      propagateWave();
+  }
+
+  /// Baseline engine: FIFO worklist, forwarding each node's pending delta
+  /// object-by-object.
+  void propagateWorklist() {
+    while (!Worklist.empty()) {
       unsigned N = Worklist.front();
       Worklist.pop_front();
       Nodes[N].Queued = false;
-
-      // Snapshot and clear the pending delta; handlers below may re-add.
       SmallVector<unsigned, 16> Delta;
-      for (unsigned Obj : Nodes[N].Pending)
+      for (unsigned Obj : Nodes[N].PropDelta)
         Delta.push_back(Obj);
-      Nodes[N].Pending.clear();
+      Nodes[N].PropDelta.clear();
+      for (size_t I = 0, E = Nodes[N].Succs.size(); I != E; ++I) {
+        unsigned S = Nodes[N].Succs[I];
+        for (unsigned Obj : Delta)
+          addPts(S, Obj);
+      }
+    }
+  }
 
-      for (unsigned Obj : Delta) {
-        // Field uses (snapshot sizes: handlers can register more uses).
-        for (size_t I = 0, E = Nodes[N].Loads.size(); I != E; ++I) {
-          auto [FK, Dst] = Nodes[N].Loads[I];
-          addCopyEdge(fieldNode(Obj, FK), Dst);
-        }
-        for (size_t I = 0, E = Nodes[N].Stores.size(); I != E; ++I) {
-          auto [FK, Src] = Nodes[N].Stores[I];
-          addCopyEdge(Src, fieldNode(Obj, FK));
-        }
-        for (size_t I = 0, E = Nodes[N].Calls.size(); I != E; ++I) {
-          auto [S, C] = Nodes[N].Calls[I];
-          applyCallToObj(S, C, Obj);
+  /// Wave engine: collapse copy-edge SCCs into their minimum member via
+  /// union-find, then push every pending delta exactly once along the
+  /// condensation in topological order with word-level unions.
+  void propagateWave() {
+    while (true) {
+      bool Pending = false;
+      for (unsigned N = 0, E = static_cast<unsigned>(Nodes.size());
+           N != E && !Pending; ++N)
+        Pending = UnionFind[N] == N && Nodes[N].PropDelta.any();
+      if (!Pending)
+        return;
+      ++NumWaves;
+      collapseSCCs();
+      for (unsigned Rep : TopoOrder) {
+        BitVector Delta = std::move(Nodes[Rep].PropDelta);
+        Nodes[Rep].PropDelta = BitVector();
+        if (Delta.none())
+          continue;
+        for (size_t I = 0, E = Nodes[Rep].Succs.size(); I != E; ++I) {
+          unsigned S = find(Nodes[Rep].Succs[I]);
+          if (S == Rep)
+            continue;
+          BitVector New;
+          if (Nodes[S].Pts.unionWithDiff(Delta, New)) {
+            NumPropWords += New.numSetWords();
+            Nodes[S].PropDelta.unionWithChanged(New);
+          }
         }
       }
-      for (size_t I = 0, E = Nodes[N].Succs.size(); I != E; ++I)
-        for (unsigned Obj : Delta)
-          addPts(Nodes[N].Succs[I], Obj);
+      // One topological pass consumes every delta of a DAG, so the next
+      // scan terminates the loop; the outer while is a safety net.
     }
+  }
+
+  /// Iterative Tarjan over the representatives' condensation. Emits SCCs
+  /// in reverse topological order (every SCC after all SCCs reachable from
+  /// it), collapses multi-node components on the fly, and leaves
+  /// TopoOrder holding the surviving representatives sources-first.
+  void collapseSCCs() {
+    const unsigned N = static_cast<unsigned>(Nodes.size());
+    std::vector<uint32_t> Index(N, 0);
+    std::vector<uint32_t> Low(N, 0);
+    std::vector<bool> OnStack(N, false);
+    std::vector<unsigned> SCCStack;
+    struct Frame {
+      unsigned Node;
+      size_t SuccIdx;
+    };
+    std::vector<Frame> DFS;
+    uint32_t NextIndex = 1;
+    TopoOrder.clear();
+
+    for (unsigned Root = 0; Root != N; ++Root) {
+      if (UnionFind[Root] != Root || Index[Root])
+        continue;
+      Index[Root] = Low[Root] = NextIndex++;
+      SCCStack.push_back(Root);
+      OnStack[Root] = true;
+      DFS.push_back({Root, 0});
+      while (!DFS.empty()) {
+        Frame &F = DFS.back();
+        unsigned V = F.Node;
+        if (F.SuccIdx != Nodes[V].Succs.size()) {
+          unsigned S = find(Nodes[V].Succs[F.SuccIdx++]);
+          if (S == V)
+            continue;
+          if (!Index[S]) {
+            Index[S] = Low[S] = NextIndex++;
+            SCCStack.push_back(S);
+            OnStack[S] = true;
+            DFS.push_back({S, 0}); // invalidates F; re-fetched next spin
+          } else if (OnStack[S]) {
+            Low[V] = std::min(Low[V], Index[S]);
+          }
+          continue;
+        }
+        DFS.pop_back();
+        if (!DFS.empty())
+          Low[DFS.back().Node] = std::min(Low[DFS.back().Node], Low[V]);
+        if (Low[V] == Index[V]) {
+          SmallVector<unsigned, 4> Comp;
+          unsigned W;
+          do {
+            W = SCCStack.back();
+            SCCStack.pop_back();
+            OnStack[W] = false;
+            Comp.push_back(W);
+          } while (W != V);
+          if (Comp.size() > 1)
+            mergeSCC(Comp);
+          TopoOrder.push_back(find(V));
+        }
+      }
+    }
+    std::reverse(TopoOrder.begin(), TopoOrder.end());
+  }
+
+  /// Unites an SCC into its minimum member (so representatives always
+  /// precede their members, which finalizeStats relies on). The
+  /// representative takes over the merged points-to set, pending delta,
+  /// and successor list; members keep their use lists and Applied state,
+  /// which discovery reads through find().
+  void mergeSCC(ArrayRef<unsigned> Comp) {
+    unsigned Rep = *std::min_element(Comp.begin(), Comp.end());
+    for (unsigned M : Comp) {
+      if (M == Rep)
+        continue;
+      Node &Mem = Nodes[M];
+      Node &RepNode = Nodes[Rep];
+      // Bits one side lacks must (re)flow to the merged successor list:
+      // the other side's former successors never saw them.
+      BitVector RepOnly = RepNode.Pts.diff(Mem.Pts);
+      BitVector New;
+      RepNode.Pts.unionWithDiff(Mem.Pts, New);
+      NumPropWords += New.numSetWords();
+      RepNode.PropDelta.unionWithChanged(New);
+      RepNode.PropDelta.unionWithChanged(RepOnly);
+      RepNode.PropDelta.unionWithChanged(Mem.PropDelta);
+      RepNode.Succs.insert(RepNode.Succs.end(), Mem.Succs.begin(),
+                           Mem.Succs.end());
+      Mem.Pts = BitVector();
+      Mem.PropDelta = BitVector();
+      Mem.Succs.clear();
+      Mem.Succs.shrink_to_fit();
+      UnionFind[M] = Rep;
+      ++NumCollapsed;
+    }
+    // Canonicalize and dedup the merged successor list; internal edges
+    // collapse to self-loops and drop out.
+    auto &Succs = Nodes[Rep].Succs;
+    for (unsigned &S : Succs)
+      S = find(S);
+    std::sort(Succs.begin(), Succs.end());
+    Succs.erase(std::unique(Succs.begin(), Succs.end()), Succs.end());
+    Succs.erase(std::remove(Succs.begin(), Succs.end(), Rep), Succs.end());
   }
 
   //===--------------------------------------------------------------------===//
@@ -702,8 +1000,18 @@ private:
 
   void finalizeStats() {
     R->NodePts.reserve(Nodes.size());
-    for (Node &N : Nodes)
-      R->NodePts.push_back(std::move(N.Pts));
+    for (unsigned N = 0, E = static_cast<unsigned>(Nodes.size()); N != E;
+         ++N) {
+      unsigned Rep = find(N);
+      if (Rep == N) {
+        R->NodePts.push_back(std::move(Nodes[N].Pts));
+      } else {
+        // SCCs unite into their minimum member, so the representative's
+        // final set is already in place.
+        assert(Rep < N && "representative must precede its members");
+        R->NodePts.push_back(R->NodePts[Rep]);
+      }
+    }
     R->Stats.set("pta.pointer-nodes", Nodes.size());
     R->Stats.set("pta.objects", R->Objects.size());
     R->Stats.set("pta.copy-edges", EdgeSet.size());
@@ -711,6 +1019,9 @@ private:
     R->Stats.set("pta.contexts", R->Ctxs.size());
     R->Stats.set("pta.origins",
                  Opts.Kind == ContextKind::Origin ? R->Origins.size() : 0);
+    R->Stats.set("pta.scc-collapsed", NumCollapsed);
+    R->Stats.set("pta.waves", NumWaves);
+    R->Stats.set("pta.propagated-words", NumPropWords);
   }
 };
 

@@ -14,8 +14,8 @@
 #include "o2/Support/OutputStream.h"
 
 #include <algorithm>
-#include <map>
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace o2;
 
@@ -54,7 +54,7 @@ private:
       BitVector WriteThreads;
       std::vector<const AccessEvent *> Accesses;
     };
-    std::map<MemLoc, LocInfo> Infos;
+    std::unordered_map<MemLoc, LocInfo> Infos;
     for (const ThreadInfo &T : SHB.threads()) {
       for (const AccessEvent &E : T.Accesses) {
         for (const MemLoc &Loc : E.Locs) {
@@ -67,7 +67,7 @@ private:
         }
       }
     }
-    std::set<unsigned> SharedObjects;
+    std::unordered_set<unsigned> SharedObjects;
     for (auto &[Loc, I] : Infos) {
       if (Opts.HandleAtomics && isAtomicLoc(Loc))
         continue;
@@ -81,6 +81,10 @@ private:
         SharedObjects.insert(Loc.object());
       Candidates.emplace_back(Loc, std::move(I.Accesses));
     }
+    // Hashed iteration order is arbitrary: sort once so pair budgeting
+    // (MaxPairChecks) and report order stay deterministic.
+    std::sort(Candidates.begin(), Candidates.end(),
+              [](const auto &A, const auto &B) { return A.first < B.first; });
     R.Stats.set("race.shared-locations", Candidates.size());
     R.Stats.set("race.shared-objects", SharedObjects.size());
     R.Stats.set("race.threads", SHB.numThreads());
@@ -104,6 +108,24 @@ private:
     return false;
   }
 
+  /// Dedup key for lock-region merging: ⟨thread, lock region⟩ and
+  /// ⟨lockset, is-write⟩, each packed into one word.
+  struct MergedRegionKey {
+    uint64_t ThreadRegion;
+    uint64_t LocksetWrite;
+    bool operator==(const MergedRegionKey &RHS) const {
+      return ThreadRegion == RHS.ThreadRegion &&
+             LocksetWrite == RHS.LocksetWrite;
+    }
+  };
+  struct MergedRegionKeyHash {
+    size_t operator()(const MergedRegionKey &K) const {
+      uint64_t H = K.ThreadRegion * 0x9e3779b97f4a7c15ull;
+      H ^= K.LocksetWrite + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+      return static_cast<size_t>(H);
+    }
+  };
+
   /// Optimization 3: within one thread, all accesses to \p Loc inside the
   /// same sync-free lock region with the same lockset have identical
   /// happens-before and lockset behaviour — keep one representative.
@@ -111,15 +133,18 @@ private:
   mergeByLockRegion(MemLoc Loc, const std::vector<const AccessEvent *> &In) {
     (void)Loc;
     std::vector<const AccessEvent *> Out;
-    std::map<std::tuple<uint32_t, uint32_t, LocksetId, bool>, bool> Seen;
+    // (thread, region) and (lockset, is-write) packed into two words;
+    // output keeps the input order, so the hashed dedup stays
+    // deterministic.
+    std::unordered_set<MergedRegionKey, MergedRegionKeyHash> Seen;
     for (const AccessEvent *E : In) {
       if (E->LockRegion == 0 || E->RegionHasSync) {
         Out.push_back(E);
         continue;
       }
-      auto Key = std::make_tuple(E->Thread, E->LockRegion, E->Lockset,
-                                 E->IsWrite);
-      if (Seen.emplace(Key, true).second)
+      MergedRegionKey Key{(uint64_t(E->Thread) << 32) | E->LockRegion,
+                          (uint64_t(E->Lockset) << 1) | E->IsWrite};
+      if (Seen.insert(Key).second)
         Out.push_back(E);
       else
         R.Stats.add("race.merged-accesses");
@@ -172,7 +197,8 @@ private:
       std::swap(SA, SB);
       std::swap(EA, EB);
     }
-    if (!ReportedPairs.insert({SA->getId(), SB->getId()}).second)
+    if (!ReportedPairs.insert((uint64_t(SA->getId()) << 32) | SB->getId())
+             .second)
       return;
     Race Rc;
     Rc.Loc = Loc;
@@ -200,7 +226,8 @@ private:
   RaceDetectorOptions Opts;
   RaceReport R;
   std::vector<std::pair<MemLoc, std::vector<const AccessEvent *>>> Candidates;
-  std::set<std::pair<unsigned, unsigned>> ReportedPairs;
+  /// Reported (stmt A, stmt B) pairs, A < B, packed into one word.
+  std::unordered_set<uint64_t> ReportedPairs;
   uint64_t PairsChecked = 0;
 };
 

@@ -8,6 +8,7 @@
 
 #include "o2/IR/Parser.h"
 #include "o2/IR/Verifier.h"
+#include "o2/O2.h"
 #include "o2/Race/RaceDetector.h"
 #include "o2/Support/OutputStream.h"
 
@@ -81,6 +82,44 @@ TEST(ReportOutputTest, EmptyJSONReport) {
   StringOutputStream OS(Buf);
   R.printJSON(OS, *PTA);
   EXPECT_EQ(Buf.find("{\"races\":[]"), 0u);
+}
+
+TEST(ReportOutputTest, StatsJSONHasPhaseTimingsAndSolverStats) {
+  auto M = parseProgram(RacyProgram);
+  O2Analysis Result = analyzeModule(*M);
+  std::string Buf;
+  StringOutputStream OS(Buf);
+  Result.printStatsJSON(OS);
+  // Per-phase wall-clock keys (milliseconds).
+  EXPECT_NE(Buf.find("\"time.pta-ms\":"), std::string::npos);
+  EXPECT_NE(Buf.find("\"time.shb-ms\":"), std::string::npos);
+  EXPECT_NE(Buf.find("\"time.race-ms\":"), std::string::npos);
+  EXPECT_NE(Buf.find("\"time.total-ms\":"), std::string::npos);
+  // Solver identity and the wave-engine statistics.
+  EXPECT_NE(Buf.find("\"solver\":\"wave\""), std::string::npos);
+  EXPECT_NE(Buf.find("\"pta.scc-collapsed\":"), std::string::npos);
+  EXPECT_NE(Buf.find("\"pta.waves\":"), std::string::npos);
+  EXPECT_NE(Buf.find("\"pta.propagated-words\":"), std::string::npos);
+  EXPECT_NE(Buf.find("\"race.races\":1"), std::string::npos);
+  // One flat, balanced JSON object.
+  int Depth = 0;
+  for (char C : Buf) {
+    if (C == '{')
+      ++Depth;
+    if (C == '}')
+      --Depth;
+    EXPECT_GE(Depth, 0);
+  }
+  EXPECT_EQ(Depth, 0);
+
+  // The worklist engine is selectable and reports itself.
+  O2Config Cfg;
+  Cfg.PTA.Solver = SolverKind::Worklist;
+  O2Analysis Baseline = analyzeModule(*M, Cfg);
+  Buf.clear();
+  Baseline.printStatsJSON(OS);
+  EXPECT_NE(Buf.find("\"solver\":\"worklist\""), std::string::npos);
+  EXPECT_EQ(Baseline.Races.numRaces(), Result.Races.numRaces());
 }
 
 TEST(ReportOutputTest, SHBDotExport) {
