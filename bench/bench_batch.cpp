@@ -1,0 +1,75 @@
+//===- bench_batch.cpp - batch-driver scaling over the Table 5 corpus ---------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the parallel batch driver end to end: the full benchmark
+// corpus (every Table 5-9 profile) analyzed through runBatch at varying
+// worker counts. Jobs are independent, so the expected shape is
+// near-linear scaling until worker count approaches the corpus's few
+// heavyweight modules (telegram, sqlite3), whose serial analysis time
+// bounds the critical path. Counters: races (fleet total), timeouts.
+// The deadline variant shows graceful degradation: a tight per-job
+// budget converts heavyweight modules into `timeout` records without
+// slowing the rest of the fleet down.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "o2/Driver/Driver.h"
+
+using namespace o2;
+using namespace o2bench;
+
+static std::vector<JobSpec> corpusSpecs() {
+  std::vector<JobSpec> Specs;
+  for (const WorkloadProfile &P : benchmarkProfiles()) {
+    JobSpec S;
+    S.Name = P.Name;
+    S.Profile = &P;
+    Specs.push_back(std::move(S));
+  }
+  return Specs;
+}
+
+static void BM_Batch(benchmark::State &State, unsigned Jobs,
+                     uint64_t DeadlineMs) {
+  std::vector<JobSpec> Specs = corpusSpecs();
+  BatchOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.DeadlineMs = DeadlineMs;
+  for (auto _ : State) {
+    BatchResult R = runBatch(Specs, Opts);
+    State.counters["modules"] = static_cast<double>(R.Jobs.size());
+    State.counters["races"] =
+        static_cast<double>(R.Summary.get("races.total"));
+    State.counters["timeouts"] =
+        static_cast<double>(R.Summary.get("jobs.timeout"));
+    benchmark::DoNotOptimize(R);
+  }
+}
+
+int main(int Argc, char **Argv) {
+  for (unsigned Jobs : {1u, 2u, 4u, 8u})
+    benchmark::RegisterBenchmark(
+        ("batch/table5-corpus/jobs=" + std::to_string(Jobs)).c_str(),
+        BM_Batch, Jobs, /*DeadlineMs=*/uint64_t(0))
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+
+  // Graceful degradation: a 50ms per-job budget times the heavyweights
+  // out while the bulk of the corpus still completes.
+  benchmark::RegisterBenchmark("batch/table5-corpus/jobs=4/deadline=50ms",
+                               BM_Batch, 4u, /*DeadlineMs=*/uint64_t(50))
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+
+  return runBenchmarks(
+      Argc, Argv,
+      "Parallel batch driver over the full benchmark corpus at varying "
+      "worker counts; counters: modules, races (fleet total), timeouts");
+}

@@ -1,0 +1,26 @@
+//===- o2batch.cpp - parallel batch-analysis tool -----------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs the full O2 pipeline over a corpus of modules — OIR files,
+// directories of OIR files, or generated workload profiles — one isolated
+// job per module on a work-stealing thread pool, with optional per-job
+// deadlines and baseline diffing. Emits one JSONL record per module plus
+// an aggregate; run `o2batch --help` or see docs/DRIVER.md.
+//
+// Exit codes: 0 all clean, 1 races found, 2 any error or timeout.
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/Driver/Driver.h"
+
+#include <string>
+#include <vector>
+
+int main(int Argc, char **Argv) {
+  return o2::runBatchCommand(std::vector<std::string>(Argv + 1, Argv + Argc));
+}

@@ -11,6 +11,10 @@
 //   o2cli [options] <program.oir>
 //   o2cli --bug-model <name>        analyze a built-in bug model
 //   o2cli --list-bug-models
+//   o2cli --batch [batch options]   run the parallel batch driver
+//                                   (see o2batch --help, docs/DRIVER.md)
+//
+// Exit codes: 0 clean, 1 races found, 2 parse/verify/internal error.
 //
 // Options:
 //   --ctx=<0-ctx|cfa|obj|origin>    context abstraction (default origin)
@@ -30,6 +34,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "o2/Driver/Driver.h"
 #include "o2/IR/Parser.h"
 #include "o2/IR/Printer.h"
 #include "o2/IR/Verifier.h"
@@ -149,16 +154,21 @@ std::string readFile(const std::string &Path, bool &Ok) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // `o2cli --batch ...` hands everything after --batch to the batch
+  // driver (the same engine as the standalone o2batch tool).
+  if (Argc > 1 && std::string(Argv[1]) == "--batch")
+    return runBatchCommand(std::vector<std::string>(Argv + 2, Argv + Argc));
+
   CliOptions Cli;
   if (!parseArgs(Argc, Argv, Cli))
-    return 1;
+    return ExitError;
 
   if (Cli.ListBugModels) {
     for (const BugModel &Model : bugModels())
       outs() << Model.Name << "  (" << Model.Subject << ", "
              << Model.ExpectedRaces << " races): " << Model.Description
              << '\n';
-    return 0;
+    return ExitClean;
   }
 
   std::unique_ptr<Module> M;
@@ -166,7 +176,7 @@ int main(int Argc, char **Argv) {
     const BugModel *Model = findBugModel(Cli.BugModelName);
     if (!Model) {
       errs() << "error: no bug model named '" << Cli.BugModelName << "'\n";
-      return 1;
+      return ExitError;
     }
     M = buildBugModel(*Model);
   } else if (!Cli.InputFile.empty()) {
@@ -174,25 +184,25 @@ int main(int Argc, char **Argv) {
     std::string Source = readFile(Cli.InputFile, Ok);
     if (!Ok) {
       errs() << "error: cannot read '" << Cli.InputFile << "'\n";
-      return 1;
+      return ExitError;
     }
     std::string Err;
     M = parseModule(Source, Err, Cli.InputFile);
     if (!M) {
       errs() << Cli.InputFile << ":" << Err << '\n';
-      return 1;
+      return ExitError;
     }
   } else {
     errs() << "usage: o2cli [options] <program.oir> | --bug-model <name> | "
-              "--list-bug-models\n";
-    return 1;
+              "--list-bug-models | --batch [batch options]\n";
+    return ExitError;
   }
 
   std::vector<std::string> Errors;
   if (!verifyModule(*M, Errors)) {
     for (const std::string &E : Errors)
       errs() << "verifier: " << E << '\n';
-    return 1;
+    return ExitError;
   }
 
   if (Cli.PrintModule)
@@ -206,23 +216,24 @@ int main(int Argc, char **Argv) {
 
   O2Analysis Result = analyzeModule(*M, Cli.Config);
 
+  int Exit = Result.Races.numRaces() == 0 ? ExitClean : ExitRacesFound;
   if (Cli.DotCallGraph) {
     CallGraph::build(*Result.PTA).printDot(outs(), *Result.PTA);
-    return 0;
+    return ExitClean;
   }
   if (Cli.DotSHB) {
     printSHBDot(Result.SHB, outs());
-    return 0;
+    return ExitClean;
   }
   if (Cli.JSON) {
     Result.Races.printJSON(outs(), *Result.PTA);
     if (Cli.Stats)
       Result.printStatsJSON(outs());
-    return Result.Races.numRaces() == 0 ? 0 : 2;
+    return Exit;
   }
   if (Cli.Stats) {
     Result.printStatsJSON(outs());
-    return Result.Races.numRaces() == 0 ? 0 : 2;
+    return Exit;
   }
 
   Result.printSummary(outs());
@@ -241,5 +252,5 @@ int main(int Argc, char **Argv) {
     outs() << '\n';
     runRacerDLike(*M).print(outs());
   }
-  return Result.Races.numRaces() == 0 ? 0 : 2;
+  return Exit;
 }

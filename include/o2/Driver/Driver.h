@@ -1,0 +1,176 @@
+//===- o2/Driver/Driver.h - Parallel batch-analysis driver --------*- C++ -*-===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch-analysis engine behind `o2batch` and `o2cli --batch`: takes a
+/// corpus of modules (OIR files, in-memory sources, or generated workload
+/// profiles), runs the full O2 pipeline over every module concurrently on
+/// a work-stealing thread pool, and emits one structured JSONL record per
+/// module plus a fleet aggregate. Each job is fully isolated — its own
+/// module, its own statistics registry, its own deadline token — so one
+/// malformed or pathological input degrades to a per-job `timeout` /
+/// `parse-error` record instead of sinking the fleet.
+///
+/// Output is deterministic: job records are sorted by module name and
+/// wall-clock timings are opt-in, so the same corpus produces
+/// byte-identical reports regardless of worker count or interleaving.
+/// See docs/DRIVER.md for the job model and the JSONL schema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef O2_DRIVER_DRIVER_H
+#define O2_DRIVER_DRIVER_H
+
+#include "o2/O2.h"
+#include "o2/Workload/Generator.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace o2 {
+
+class OutputStream;
+
+/// Terminal state of one analysis job.
+enum class JobStatus : uint8_t {
+  Clean,         ///< Pipeline completed, no races.
+  Races,         ///< Pipeline completed, races reported.
+  Timeout,       ///< Deadline fired; partial statistics, JobResult::Phase
+                 ///< names the phase that was cut short.
+  ParseError,    ///< Unreadable file or OIR syntax error.
+  VerifyError,   ///< Parsed but failed module verification.
+  InternalError, ///< The pipeline threw; JobResult::Error has the what().
+};
+
+/// Stable lowercase name: "clean", "races", "timeout", "parse-error",
+/// "verify-error", "internal-error".
+const char *jobStatusName(JobStatus S);
+
+/// Process exit codes shared by o2cli and o2batch.
+enum ExitCode : int {
+  ExitClean = 0,      ///< Analysis ran, no races.
+  ExitRacesFound = 1, ///< Analysis ran, races reported.
+  ExitError = 2,      ///< Parse/verify/internal error or timeout.
+};
+
+/// Maps a job status onto the shared exit-code convention.
+int exitCodeFor(JobStatus S);
+
+/// One unit of batch work. Exactly one of Source / Path / Profile
+/// provides the module: a non-null Profile wins, else a non-empty Source,
+/// else Path is read from disk.
+struct JobSpec {
+  std::string Name;                         ///< Module/report name.
+  std::string Path;                         ///< OIR file to read.
+  std::string Source;                       ///< In-memory OIR source.
+  const WorkloadProfile *Profile = nullptr; ///< Generated workload.
+};
+
+struct BatchOptions {
+  /// Pipeline configuration applied to every job. The Cancel field is
+  /// ignored — the driver installs a per-job deadline token.
+  O2Config Config;
+
+  /// Worker threads; 0 picks the hardware concurrency.
+  unsigned Jobs = 0;
+
+  /// Per-job analysis budget in milliseconds; 0 means unlimited. The
+  /// deadline covers the analysis phases only (not parsing).
+  uint64_t DeadlineMs = 0;
+
+  /// Include wall-clock phase timings in the JSONL records. Off by
+  /// default so reports are byte-identical across runs.
+  bool IncludeTimings = false;
+};
+
+/// One reported race, rendered with a content-derived fingerprint that is
+/// stable across reordering of unrelated statements (it hashes the
+/// location's symbolic description and the statement texts, never raw
+/// statement IDs).
+struct RaceRecord {
+  std::string Fingerprint; ///< 16 hex digits, FNV-1a.
+  std::string Location;    ///< Human-readable location (obj IDs elided).
+  std::string StmtA, FuncA;
+  std::string StmtB, FuncB;
+  bool WriteA = false, WriteB = false;
+  std::string DiffStatus; ///< "" | "new" | "unchanged" (baseline mode).
+};
+
+struct JobResult {
+  std::string Name;
+  JobStatus Status = JobStatus::Clean;
+  std::string Phase; ///< Phase the deadline fired in (timeout only).
+  std::string Error; ///< Parse/verify/internal diagnostic.
+
+  double PTAMs = 0, OSAMs = 0, SHBMs = 0, DetectMs = 0;
+  double totalMs() const { return PTAMs + OSAMs + SHBMs + DetectMs; }
+
+  /// Per-job solver and detector counters (partial on timeout).
+  StatisticRegistry Stats;
+
+  std::vector<RaceRecord> Races;
+
+  /// Baseline fingerprints no longer reported (set by applyBaseline).
+  std::vector<std::string> FixedRaces;
+};
+
+struct BatchResult {
+  /// Per-job results sorted by name (deterministic across worker
+  /// interleavings).
+  std::vector<JobResult> Jobs;
+
+  /// Fleet aggregate: per-status job counts ("jobs.*"), total races,
+  /// baseline diff counts, plus every per-job counter folded in via
+  /// StatisticRegistry::merge.
+  StatisticRegistry Summary;
+
+  /// Worst exit code over all jobs: any error/timeout wins over races,
+  /// races win over clean.
+  int exitCode() const;
+};
+
+/// Runs every spec as an isolated job on a work-stealing pool and folds
+/// the results into a deterministic BatchResult.
+BatchResult runBatch(const std::vector<JobSpec> &Specs,
+                     const BatchOptions &Opts = {});
+
+/// Runs a single spec synchronously (what each pool worker executes).
+JobResult runOneJob(const JobSpec &Spec, const BatchOptions &Opts = {});
+
+/// Baseline for diff mode: module name -> race fingerprints, recovered
+/// from a previous JSONL report.
+using Baseline = std::map<std::string, std::set<std::string>>;
+
+/// Extracts the baseline from a prior report's content. Tolerant: it
+/// scans for "module" / "fingerprint" string values per line, so reports
+/// with or without timings both load.
+Baseline loadBaseline(const std::string &JSONLContent);
+
+/// Classifies every race in \p R against \p B (DiffStatus = new or
+/// unchanged), records baseline fingerprints that disappeared as fixed,
+/// and adds the diff.* counters to the summary.
+void applyBaseline(BatchResult &R, const Baseline &B);
+
+/// Writes the report: one JSON object per job, then one aggregate record.
+void printJSONL(const BatchResult &R, OutputStream &OS,
+                bool IncludeTimings = false);
+
+/// Writes a short human-readable fleet summary.
+void printBatchSummary(const BatchResult &R, OutputStream &OS);
+
+/// The shared CLI behind `o2batch ...` and `o2cli --batch ...`: parses
+/// \p Args (flags plus positional .oir files / directories), runs the
+/// batch, writes the JSONL report and summary. Returns the process exit
+/// code (aggregate ExitCode, or ExitError on bad usage).
+int runBatchCommand(const std::vector<std::string> &Args);
+
+} // namespace o2
+
+#endif // O2_DRIVER_DRIVER_H

@@ -42,7 +42,20 @@ struct O2Config {
 
   /// Also run OSA and include its result (requires origin sensitivity).
   bool RunOSA = true;
+
+  /// Optional cooperative deadline/cancellation, threaded into the hot
+  /// loop of every phase. When it fires, the in-flight phase stops early,
+  /// later phases are skipped, and O2Analysis::CancelledIn records where
+  /// the pipeline died. Not owned.
+  const CancellationToken *Cancel = nullptr;
 };
+
+/// The pipeline phase an analysis was cancelled in (None = ran to
+/// completion).
+enum class O2Phase : uint8_t { None, PTA, OSA, SHB, Detect };
+
+/// Short stable name of \p P: "pta", "osa", "shb", "race" ("" for None).
+const char *phaseName(O2Phase P);
 
 /// Everything one O2 run produces, with per-phase wall-clock times the
 /// way the paper's tables report them.
@@ -56,6 +69,12 @@ struct O2Analysis {
   double OSASeconds = 0;
   double SHBSeconds = 0;
   double DetectSeconds = 0;
+
+  /// Phase the cancellation token fired in; None if the pipeline ran to
+  /// completion. Phases after the cancelled one are default-constructed.
+  O2Phase CancelledIn = O2Phase::None;
+
+  bool cancelled() const { return CancelledIn != O2Phase::None; }
 
   double totalSeconds() const {
     return PTASeconds + OSASeconds + SHBSeconds + DetectSeconds;

@@ -77,8 +77,14 @@ public:
     return StmtId < SharedStmts.size() && SharedStmts.test(StmtId);
   }
 
+  /// True if the scan was cancelled (the result covers a prefix of the
+  /// reachable instances).
+  bool cancelled() const { return Cancelled; }
+
 private:
   friend class SharingAnalysis;
+
+  bool Cancelled = false;
 
   std::unordered_map<MemLoc, LocAccessSets> Locs;
   std::vector<MemLoc> Shared;
@@ -88,8 +94,11 @@ private:
   unsigned NumAccessStmts = 0;
 };
 
-/// Runs OSA over an Origin-sensitive pointer-analysis result.
-SharingResult runSharingAnalysis(const PTAResult &PTA);
+/// Runs OSA over an Origin-sensitive pointer-analysis result. \p Cancel,
+/// when given, is polled per scanned statement; on expiry the scan stops
+/// and the partial result is flagged.
+SharingResult runSharingAnalysis(const PTAResult &PTA,
+                                 const CancellationToken *Cancel = nullptr);
 
 } // namespace o2
 

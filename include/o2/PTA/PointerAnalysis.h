@@ -29,6 +29,7 @@
 #include "o2/IR/Module.h"
 #include "o2/PTA/OriginSpec.h"
 #include "o2/Support/BitVector.h"
+#include "o2/Support/CancellationToken.h"
 #include "o2/Support/InternTable.h"
 #include "o2/Support/Statistic.h"
 
@@ -75,6 +76,12 @@ struct PTAOptions {
   /// Hard cap on pointer nodes; the solver stops growing beyond it and
   /// flags the result, the way the paper reports ">4h" timeouts.
   uint64_t NodeBudget = 4'000'000;
+
+  /// Optional cooperative cancellation, polled each propagation step and
+  /// statement scan. On expiry the solver stops and flags the (partial)
+  /// result; the batch driver reports the module as timed out in this
+  /// phase. Not owned.
+  const CancellationToken *Cancel = nullptr;
 
   /// Short human-readable configuration name ("2-cfa", "1-origin", ...).
   std::string name() const;
@@ -169,6 +176,10 @@ public:
   /// True if the node budget was exhausted (result is partial).
   bool hitBudget() const { return HitBudget; }
 
+  /// True if the run was cancelled via PTAOptions::Cancel (result is
+  /// partial and not schedule-independent).
+  bool cancelled() const { return Cancelled; }
+
   /// Renders a context for diagnostics, e.g. "[O1,O3]".
   std::string ctxToString(Ctx C) const;
 
@@ -209,6 +220,7 @@ private:
   std::vector<BitVector> NodePts;
   StatisticRegistry Stats;
   bool HitBudget = false;
+  bool Cancelled = false;
 };
 
 /// Runs the pointer analysis over \p M (starting at main()) with the given

@@ -51,6 +51,11 @@ struct RaceDetectorOptions {
   /// this the way the paper reports ">4h" detector runs.
   uint64_t MaxPairChecks = ~uint64_t(0);
 
+  /// Optional cooperative cancellation, polled per candidate pair; on
+  /// expiry the scan stops and the partial report is flagged (the
+  /// "race.cancelled" statistic). Not owned.
+  const CancellationToken *Cancel = nullptr;
+
   /// Forwarded to the SHB builder when the detector builds its own graph.
   SHBOptions SHB;
 };
@@ -81,9 +86,14 @@ public:
   /// Emits the report as JSON: {"races": [...], "stats": {...}}.
   void printJSON(OutputStream &OS, const PTAResult &PTA) const;
 
+  /// True if the scan was cancelled (the report covers a prefix of the
+  /// candidate locations).
+  bool cancelled() const { return Cancelled; }
+
 private:
   friend class RaceDetector;
 
+  bool Cancelled = false;
   std::vector<Race> Races;
   StatisticRegistry Stats;
 };

@@ -55,6 +55,10 @@ struct SHBOptions {
   /// Caps to keep degenerate inputs bounded.
   unsigned MaxThreads = 4096;
   uint64_t MaxEventsPerThread = 1u << 22;
+
+  /// Optional cooperative cancellation, polled per traced statement; on
+  /// expiry the builder stops and flags the partial graph. Not owned.
+  const CancellationToken *Cancel = nullptr;
 };
 
 /// One read or write of a set of abstract memory locations.
@@ -148,9 +152,14 @@ public:
   /// The implicit lock element serializing event handlers.
   static constexpr uint32_t UILockElem = 0xfffffffeu;
 
+  /// True if construction was cancelled (the graph covers a prefix of the
+  /// threads/events).
+  bool cancelled() const { return Cancelled; }
+
 private:
   friend class SHBBuilder;
 
+  bool Cancelled = false;
   std::vector<ThreadInfo> Threads;
   InternTable Locksets;
   mutable std::unordered_map<uint64_t, bool> IntersectCache;

@@ -42,6 +42,15 @@ public:
     return It == Counters.end() ? 0 : It->second;
   }
 
+  /// Adds every counter of \p Other into this registry. The batch driver
+  /// uses this to fold per-job registries into a fleet aggregate: each
+  /// concurrent job owns its registry (no process-global mutable state),
+  /// and merging happens after the job finished.
+  void merge(const StatisticRegistry &Other) {
+    for (const auto &[Name, Value] : Other.Counters)
+      Counters[Name] += Value;
+  }
+
   bool empty() const { return Counters.empty(); }
 
   /// Prints "value  name" lines, sorted by name.

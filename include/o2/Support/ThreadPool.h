@@ -1,0 +1,75 @@
+//===- o2/Support/ThreadPool.h - Work-stealing thread pool -------*- C++ -*-===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for coarse-grained tasks (one task =
+/// one module analysis in the batch driver). Each worker owns a deque:
+/// the owner pops newest-first from the back, idle workers steal
+/// oldest-first from the front of a victim's deque, so long-running jobs
+/// submitted early migrate to free workers instead of serializing behind
+/// one queue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef O2_SUPPORT_THREADPOOL_H
+#define O2_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace o2 {
+
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers; 0 means std::thread::hardware_concurrency.
+  explicit ThreadPool(unsigned NumThreads = 0);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task; round-robins across worker deques.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Threads.size());
+  }
+
+private:
+  struct Worker {
+    std::mutex Mutex;
+    std::deque<std::function<void()>> Deque;
+  };
+
+  void workerLoop(unsigned Me);
+  bool popOwn(unsigned Me, std::function<void()> &Task);
+  bool steal(unsigned Me, std::function<void()> &Task);
+
+  std::vector<std::unique_ptr<Worker>> Workers;
+  std::vector<std::thread> Threads;
+  std::mutex SleepMutex;
+  std::condition_variable WorkCV;  ///< Wakes idle workers.
+  std::condition_variable IdleCV;  ///< Wakes wait()ers.
+  size_t Outstanding = 0;          ///< Queued + running tasks.
+  bool Stopping = false;
+  unsigned NextWorker = 0;         ///< Round-robin submit cursor.
+};
+
+} // namespace o2
+
+#endif // O2_SUPPORT_THREADPOOL_H

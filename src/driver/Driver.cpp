@@ -1,0 +1,631 @@
+//===- Driver.cpp - Parallel batch-analysis driver ----------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/Driver/Driver.h"
+
+#include "o2/IR/Parser.h"
+#include "o2/IR/Printer.h"
+#include "o2/IR/Verifier.h"
+#include "o2/Support/Casting.h"
+#include "o2/Support/JSONWriter.h"
+#include "o2/Support/OutputStream.h"
+#include "o2/Support/ThreadPool.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string_view>
+
+using namespace o2;
+
+const char *o2::jobStatusName(JobStatus S) {
+  switch (S) {
+  case JobStatus::Clean:
+    return "clean";
+  case JobStatus::Races:
+    return "races";
+  case JobStatus::Timeout:
+    return "timeout";
+  case JobStatus::ParseError:
+    return "parse-error";
+  case JobStatus::VerifyError:
+    return "verify-error";
+  case JobStatus::InternalError:
+    return "internal-error";
+  }
+  return "unknown";
+}
+
+int o2::exitCodeFor(JobStatus S) {
+  switch (S) {
+  case JobStatus::Clean:
+    return ExitClean;
+  case JobStatus::Races:
+    return ExitRacesFound;
+  case JobStatus::Timeout:
+  case JobStatus::ParseError:
+  case JobStatus::VerifyError:
+  case JobStatus::InternalError:
+    return ExitError;
+  }
+  return ExitError;
+}
+
+int BatchResult::exitCode() const {
+  int Code = ExitClean;
+  for (const JobResult &J : Jobs)
+    Code = std::max(Code, exitCodeFor(J.Status));
+  return Code;
+}
+
+//===----------------------------------------------------------------------===//
+// Race fingerprints
+//===----------------------------------------------------------------------===//
+
+static uint64_t fnv1a(std::string_view S, uint64_t H) {
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+static std::string toHex16(uint64_t V) {
+  static const char *Hex = "0123456789abcdef";
+  std::string Out(16, '0');
+  for (int I = 15; I >= 0; --I, V >>= 4)
+    Out[size_t(I)] = Hex[V & 0xf];
+  return Out;
+}
+
+/// Symbolic description of \p Loc that survives reordering of unrelated
+/// statements: no abstract-object numbers or statement IDs, only names
+/// and statement text (class, field, allocating function, allocation
+/// statement, loop-duplication index).
+static std::string stableLocation(const MemLoc &Loc, const PTAResult &PTA) {
+  if (Loc.isGlobal())
+    return "@" + PTA.module().globals()[Loc.globalId()]->getName();
+  const ObjInfo &O = PTA.object(Loc.object());
+  std::string Out = O.AllocatedType ? O.AllocatedType->getName() : "obj";
+  if (O.Alloc) {
+    Out += "@" + O.Alloc->getFunction()->getName();
+    Out += ":" + printStmt(*O.Alloc);
+  }
+  if (O.DupIndex)
+    Out += "#" + std::to_string(O.DupIndex);
+  FieldKey FK = Loc.fieldKey();
+  if (FK == ArrayElemKey)
+    return Out + "[*]";
+  if (const auto *Cls =
+          O.AllocatedType ? dyn_cast<ClassType>(O.AllocatedType) : nullptr)
+    for (const ClassType *C = Cls; C; C = C->getSuper())
+      for (const auto &F : C->fields())
+        if (fieldKeyOf(F.get()) == FK)
+          return Out + "." + F->getName();
+  return Out + ".f" + std::to_string(FK - 1);
+}
+
+static RaceRecord makeRaceRecord(const Race &Rc, const PTAResult &PTA) {
+  RaceRecord R;
+  R.Location = stableLocation(Rc.Loc, PTA);
+  R.StmtA = printStmt(*Rc.A);
+  R.FuncA = Rc.A->getFunction()->getName();
+  R.WriteA = Rc.AIsWrite;
+  R.StmtB = printStmt(*Rc.B);
+  R.FuncB = Rc.B->getFunction()->getName();
+  R.WriteB = Rc.BIsWrite;
+
+  // The fingerprint hashes the symbolic location plus the two access
+  // descriptors in lexicographic order, so it is invariant under the
+  // statement-ID renumbering that reordering unrelated code causes and
+  // under which access the detector happened to list first.
+  std::string DescA =
+      R.StmtA + "|" + R.FuncA + "|" + (R.WriteA ? "W" : "R");
+  std::string DescB =
+      R.StmtB + "|" + R.FuncB + "|" + (R.WriteB ? "W" : "R");
+  if (DescB < DescA)
+    std::swap(DescA, DescB);
+  uint64_t H = fnv1a(R.Location, 1469598103934665603ull);
+  H = fnv1a("\x1f", H);
+  H = fnv1a(DescA, H);
+  H = fnv1a("\x1f", H);
+  H = fnv1a(DescB, H);
+  R.Fingerprint = toHex16(H);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Job execution
+//===----------------------------------------------------------------------===//
+
+static std::string readFileContent(const std::string &Path, bool &Ok) {
+  Ok = false;
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return {};
+  std::string Content;
+  char Buf[64 * 1024];
+  for (size_t N; (N = std::fread(Buf, 1, sizeof(Buf), F)) > 0;)
+    Content.append(Buf, N);
+  Ok = !std::ferror(F);
+  std::fclose(F);
+  return Content;
+}
+
+JobResult o2::runOneJob(const JobSpec &Spec, const BatchOptions &Opts) {
+  JobResult R;
+  R.Name = Spec.Name;
+  try {
+    std::unique_ptr<Module> M;
+    if (Spec.Profile) {
+      M = generateWorkload(*Spec.Profile);
+    } else {
+      std::string Source = Spec.Source;
+      if (Source.empty() && !Spec.Path.empty()) {
+        bool Ok = false;
+        Source = readFileContent(Spec.Path, Ok);
+        if (!Ok) {
+          R.Status = JobStatus::ParseError;
+          R.Error = "cannot read '" + Spec.Path + "'";
+          return R;
+        }
+      }
+      std::string Err;
+      M = parseModule(Source, Err, Spec.Name.empty() ? "module" : Spec.Name);
+      if (!M) {
+        R.Status = JobStatus::ParseError;
+        R.Error = Err;
+        return R;
+      }
+    }
+
+    std::vector<std::string> Errors;
+    if (!verifyModule(*M, Errors)) {
+      R.Status = JobStatus::VerifyError;
+      R.Error = Errors.empty() ? "module failed verification" : Errors.front();
+      if (Errors.size() > 1)
+        R.Error += " (+" + std::to_string(Errors.size() - 1) + " more)";
+      return R;
+    }
+
+    // The deadline clock starts here: parsing is I/O-bound and cheap, the
+    // analysis phases are where pathological modules blow up.
+    CancellationToken Deadline;
+    O2Config Cfg = Opts.Config;
+    if (Opts.DeadlineMs) {
+      Deadline.setDeadlineMs(double(Opts.DeadlineMs));
+      Cfg.Cancel = &Deadline;
+    } else {
+      Cfg.Cancel = nullptr;
+    }
+
+    O2Analysis A = analyzeModule(*M, Cfg);
+    R.PTAMs = A.PTASeconds * 1000.0;
+    R.OSAMs = A.OSASeconds * 1000.0;
+    R.SHBMs = A.SHBSeconds * 1000.0;
+    R.DetectMs = A.DetectSeconds * 1000.0;
+    R.Stats.merge(A.PTA->stats());
+    R.Stats.merge(A.Races.stats());
+    for (const Race &Rc : A.Races.races())
+      R.Races.push_back(makeRaceRecord(Rc, *A.PTA));
+    if (A.cancelled()) {
+      R.Status = JobStatus::Timeout;
+      R.Phase = phaseName(A.CancelledIn);
+    } else {
+      R.Status = R.Races.empty() ? JobStatus::Clean : JobStatus::Races;
+    }
+  } catch (const std::exception &E) {
+    R.Status = JobStatus::InternalError;
+    R.Error = E.what();
+  } catch (...) {
+    R.Status = JobStatus::InternalError;
+    R.Error = "unknown exception";
+  }
+  return R;
+}
+
+BatchResult o2::runBatch(const std::vector<JobSpec> &Specs,
+                         const BatchOptions &Opts) {
+  BatchResult R;
+  R.Jobs.resize(Specs.size());
+  {
+    // Preallocated result slots: workers write disjoint elements, so the
+    // only synchronization needed is the pool's own wait().
+    ThreadPool Pool(Opts.Jobs);
+    for (size_t I = 0; I < Specs.size(); ++I)
+      Pool.submit([&R, &Specs, &Opts, I] {
+        R.Jobs[I] = runOneJob(Specs[I], Opts);
+      });
+    Pool.wait();
+  }
+  // Deterministic report order regardless of worker interleaving: by
+  // name, ties broken by submission order (stable sort).
+  std::stable_sort(
+      R.Jobs.begin(), R.Jobs.end(),
+      [](const JobResult &A, const JobResult &B) { return A.Name < B.Name; });
+
+  uint64_t TotalRaces = 0;
+  for (const JobResult &J : R.Jobs) {
+    R.Summary.add(std::string("jobs.") + jobStatusName(J.Status));
+    R.Summary.merge(J.Stats);
+    TotalRaces += J.Races.size();
+  }
+  R.Summary.set("jobs.total", R.Jobs.size());
+  R.Summary.set("races.total", TotalRaces);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Baseline diff
+//===----------------------------------------------------------------------===//
+
+/// Reads the JSON string starting at \p Pos (the opening quote),
+/// un-escaping as it goes. Returns false on malformed input.
+static bool readJSONString(const std::string &S, size_t &Pos,
+                           std::string &Out) {
+  if (Pos >= S.size() || S[Pos] != '"')
+    return false;
+  ++Pos;
+  Out.clear();
+  while (Pos < S.size()) {
+    char C = S[Pos++];
+    if (C == '"')
+      return true;
+    if (C == '\\' && Pos < S.size()) {
+      char E = S[Pos++];
+      switch (E) {
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'u':
+        Out += '?';
+        Pos = std::min(S.size(), Pos + 4);
+        break;
+      default:
+        Out += E;
+      }
+    } else {
+      Out += C;
+    }
+  }
+  return false;
+}
+
+Baseline o2::loadBaseline(const std::string &JSONLContent) {
+  Baseline B;
+  size_t LineStart = 0;
+  while (LineStart < JSONLContent.size()) {
+    size_t LineEnd = JSONLContent.find('\n', LineStart);
+    if (LineEnd == std::string::npos)
+      LineEnd = JSONLContent.size();
+    std::string Line = JSONLContent.substr(LineStart, LineEnd - LineStart);
+    LineStart = LineEnd + 1;
+
+    size_t P = Line.find("\"module\":");
+    if (P == std::string::npos)
+      continue; // aggregate record or junk
+    P += 9;
+    std::string ModuleName;
+    if (!readJSONString(Line, P, ModuleName))
+      continue;
+    std::set<std::string> &FPs = B[ModuleName];
+    for (size_t Q = Line.find("\"fingerprint\":"); Q != std::string::npos;
+         Q = Line.find("\"fingerprint\":", Q)) {
+      Q += 14;
+      std::string FP;
+      if (!readJSONString(Line, Q, FP))
+        break;
+      FPs.insert(FP);
+    }
+  }
+  return B;
+}
+
+void o2::applyBaseline(BatchResult &R, const Baseline &B) {
+  uint64_t NumNew = 0, NumUnchanged = 0, NumFixed = 0;
+  for (JobResult &J : R.Jobs) {
+    auto It = B.find(J.Name);
+    const std::set<std::string> *Base = It == B.end() ? nullptr : &It->second;
+    std::set<std::string> Current;
+    for (RaceRecord &Rc : J.Races) {
+      Current.insert(Rc.Fingerprint);
+      if (Base && Base->count(Rc.Fingerprint)) {
+        Rc.DiffStatus = "unchanged";
+        ++NumUnchanged;
+      } else {
+        Rc.DiffStatus = "new";
+        ++NumNew;
+      }
+    }
+    J.FixedRaces.clear();
+    if (Base)
+      for (const std::string &FP : *Base)
+        if (!Current.count(FP)) {
+          J.FixedRaces.push_back(FP); // set order: already sorted
+          ++NumFixed;
+        }
+  }
+  R.Summary.set("diff.new", NumNew);
+  R.Summary.set("diff.unchanged", NumUnchanged);
+  R.Summary.set("diff.fixed", NumFixed);
+}
+
+//===----------------------------------------------------------------------===//
+// Reports
+//===----------------------------------------------------------------------===//
+
+void o2::printJSONL(const BatchResult &R, OutputStream &OS,
+                    bool IncludeTimings) {
+  for (const JobResult &J : R.Jobs) {
+    JSONWriter W(OS);
+    W.beginObject();
+    W.attribute("module", J.Name);
+    W.attribute("status", jobStatusName(J.Status));
+    if (!J.Phase.empty())
+      W.attribute("phase", J.Phase);
+    if (!J.Error.empty())
+      W.attribute("error", J.Error);
+    if (IncludeTimings) {
+      W.attribute("time.pta-ms", J.PTAMs);
+      W.attribute("time.osa-ms", J.OSAMs);
+      W.attribute("time.shb-ms", J.SHBMs);
+      W.attribute("time.race-ms", J.DetectMs);
+      W.attribute("time.total-ms", J.totalMs());
+    }
+    W.key("races");
+    W.beginArray();
+    for (const RaceRecord &Rc : J.Races) {
+      W.beginObject();
+      W.attribute("fingerprint", Rc.Fingerprint);
+      W.attribute("location", Rc.Location);
+      if (!Rc.DiffStatus.empty())
+        W.attribute("diff", Rc.DiffStatus);
+      W.key("first");
+      W.beginObject();
+      W.attribute("stmt", Rc.StmtA);
+      W.attribute("function", Rc.FuncA);
+      W.attribute("write", Rc.WriteA);
+      W.endObject();
+      W.key("second");
+      W.beginObject();
+      W.attribute("stmt", Rc.StmtB);
+      W.attribute("function", Rc.FuncB);
+      W.attribute("write", Rc.WriteB);
+      W.endObject();
+      W.endObject();
+    }
+    W.endArray();
+    if (!J.FixedRaces.empty()) {
+      W.key("fixed");
+      W.beginArray();
+      for (const std::string &FP : J.FixedRaces)
+        W.value(FP);
+      W.endArray();
+    }
+    W.key("stats");
+    W.beginObject();
+    for (const auto &[Name, Value] : J.Stats.counters())
+      W.attribute(Name, Value);
+    W.endObject();
+    W.endObject();
+    OS << '\n';
+  }
+
+  JSONWriter W(OS);
+  W.beginObject();
+  W.attribute("aggregate", true);
+  W.attribute("exit-code", int64_t(R.exitCode()));
+  W.key("summary");
+  W.beginObject();
+  for (const auto &[Name, Value] : R.Summary.counters())
+    W.attribute(Name, Value);
+  W.endObject();
+  W.endObject();
+  OS << '\n';
+}
+
+void o2::printBatchSummary(const BatchResult &R, OutputStream &OS) {
+  OS << "==== batch: " << uint64_t(R.Jobs.size()) << " module(s), "
+     << R.Summary.get("races.total") << " race(s), exit "
+     << int64_t(R.exitCode()) << " ====\n";
+  for (const JobResult &J : R.Jobs) {
+    OS << "  " << J.Name << ": " << jobStatusName(J.Status);
+    if (J.Status == JobStatus::Races)
+      OS << " (" << uint64_t(J.Races.size()) << ")";
+    if (J.Status == JobStatus::Timeout)
+      OS << " (in " << J.Phase << ")";
+    if (!J.Error.empty())
+      OS << ": " << J.Error;
+    OS << '\n';
+  }
+  if (R.Summary.get("diff.new") || R.Summary.get("diff.unchanged") ||
+      R.Summary.get("diff.fixed"))
+    OS << "  diff: " << R.Summary.get("diff.new") << " new, "
+       << R.Summary.get("diff.unchanged") << " unchanged, "
+       << R.Summary.get("diff.fixed") << " fixed\n";
+}
+
+//===----------------------------------------------------------------------===//
+// CLI
+//===----------------------------------------------------------------------===//
+
+static void printBatchUsage(OutputStream &OS) {
+  OS << "usage: o2batch [options] <file.oir | directory>...\n"
+     << "\n"
+     << "Runs the O2 pipeline over every module of a corpus on a\n"
+     << "work-stealing thread pool and emits a JSONL report (one record\n"
+     << "per module plus an aggregate; see docs/DRIVER.md).\n"
+     << "\n"
+     << "  --jobs=N          worker threads (default: hardware "
+        "concurrency)\n"
+     << "  --deadline-ms=N   per-job analysis budget; overruns become "
+        "'timeout' records\n"
+     << "  --out=FILE        write the JSONL report to FILE (default: "
+        "stdout)\n"
+     << "  --baseline=FILE   diff against a previous JSONL report "
+        "(new/unchanged/fixed)\n"
+     << "  --timings         include wall-clock phase timings "
+        "(non-deterministic)\n"
+     << "  --profile=NAME    add the named generated workload as a job "
+        "(repeatable)\n"
+     << "  --profiles=table5 add every benchmark profile as a job\n"
+     << "  --ctx=K           context kind: 0-ctx, cfa, obj, origin "
+        "(default: origin)\n"
+     << "  --k=N             context depth for cfa/obj\n"
+     << "  --solver=S        pta solver: wave, worklist\n"
+     << "  --quiet           no human-readable summary on stderr\n"
+     << "\n"
+     << "exit codes: 0 all clean, 1 races found, 2 any parse/verify/"
+        "internal error or timeout\n";
+}
+
+int o2::runBatchCommand(const std::vector<std::string> &Args) {
+  BatchOptions Opts;
+  std::vector<std::string> Inputs;
+  std::vector<std::string> ProfileNames;
+  bool AllProfiles = false;
+  bool Quiet = false;
+  std::string OutPath, BaselinePath;
+
+  for (const std::string &Arg : Args) {
+    auto Value = [&Arg] { return Arg.substr(Arg.find('=') + 1); };
+    if (Arg == "--help" || Arg == "-h") {
+      printBatchUsage(outs());
+      return ExitClean;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      Opts.Jobs = unsigned(std::strtoul(Value().c_str(), nullptr, 10));
+    } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
+      Opts.DeadlineMs = std::strtoull(Value().c_str(), nullptr, 10);
+    } else if (Arg == "--timings") {
+      Opts.IncludeTimings = true;
+    } else if (Arg.rfind("--out=", 0) == 0) {
+      OutPath = Value();
+    } else if (Arg.rfind("--baseline=", 0) == 0) {
+      BaselinePath = Value();
+    } else if (Arg.rfind("--profile=", 0) == 0) {
+      ProfileNames.push_back(Value());
+    } else if (Arg == "--profiles=table5" || Arg == "--profiles=all") {
+      AllProfiles = true;
+    } else if (Arg.rfind("--ctx=", 0) == 0) {
+      std::string V = Value();
+      if (V == "0-ctx" || V == "insensitive")
+        Opts.Config.PTA.Kind = ContextKind::Insensitive;
+      else if (V == "cfa" || V == "k-cfa")
+        Opts.Config.PTA.Kind = ContextKind::KCallsite;
+      else if (V == "obj" || V == "k-obj")
+        Opts.Config.PTA.Kind = ContextKind::KObject;
+      else if (V == "origin")
+        Opts.Config.PTA.Kind = ContextKind::Origin;
+      else {
+        errs() << "o2batch: unknown context kind '" << V << "'\n";
+        return ExitError;
+      }
+    } else if (Arg.rfind("--k=", 0) == 0) {
+      Opts.Config.PTA.K = unsigned(std::strtoul(Value().c_str(), nullptr, 10));
+    } else if (Arg.rfind("--solver=", 0) == 0) {
+      std::string V = Value();
+      if (V == "wave")
+        Opts.Config.PTA.Solver = SolverKind::Wave;
+      else if (V == "worklist")
+        Opts.Config.PTA.Solver = SolverKind::Worklist;
+      else {
+        errs() << "o2batch: unknown solver '" << V << "'\n";
+        return ExitError;
+      }
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg.rfind("--", 0) == 0) {
+      errs() << "o2batch: unknown option '" << Arg << "'\n";
+      printBatchUsage(errs());
+      return ExitError;
+    } else {
+      Inputs.push_back(Arg);
+    }
+  }
+
+  namespace fs = std::filesystem;
+  std::vector<JobSpec> Specs;
+  auto addFile = [&Specs](const fs::path &P) {
+    JobSpec S;
+    S.Name = P.stem().string();
+    S.Path = P.string();
+    Specs.push_back(std::move(S));
+  };
+  for (const std::string &In : Inputs) {
+    std::error_code EC;
+    if (fs::is_directory(In, EC)) {
+      std::vector<fs::path> Files;
+      for (const auto &Entry : fs::directory_iterator(In, EC))
+        if (Entry.path().extension() == ".oir")
+          Files.push_back(Entry.path());
+      std::sort(Files.begin(), Files.end());
+      for (const fs::path &P : Files)
+        addFile(P);
+    } else {
+      addFile(fs::path(In));
+    }
+  }
+  for (const std::string &PN : ProfileNames) {
+    const WorkloadProfile *P = findProfile(PN);
+    if (!P) {
+      errs() << "o2batch: unknown profile '" << PN << "'\n";
+      return ExitError;
+    }
+    JobSpec S;
+    S.Name = P->Name;
+    S.Profile = P;
+    Specs.push_back(std::move(S));
+  }
+  if (AllProfiles)
+    for (const WorkloadProfile &P : benchmarkProfiles()) {
+      JobSpec S;
+      S.Name = P.Name;
+      S.Profile = &P;
+      Specs.push_back(std::move(S));
+    }
+  if (Specs.empty()) {
+    errs() << "o2batch: no inputs\n";
+    printBatchUsage(errs());
+    return ExitError;
+  }
+
+  BatchResult R = runBatch(Specs, Opts);
+
+  if (!BaselinePath.empty()) {
+    bool Ok = false;
+    std::string Content = readFileContent(BaselinePath, Ok);
+    if (!Ok) {
+      errs() << "o2batch: cannot read baseline '" << BaselinePath << "'\n";
+      return ExitError;
+    }
+    applyBaseline(R, loadBaseline(Content));
+  }
+
+  if (!OutPath.empty()) {
+    std::FILE *F = std::fopen(OutPath.c_str(), "wb");
+    if (!F) {
+      errs() << "o2batch: cannot write '" << OutPath << "'\n";
+      return ExitError;
+    }
+    FileOutputStream FOS(F);
+    printJSONL(R, FOS, Opts.IncludeTimings);
+    std::fclose(F);
+  } else {
+    printJSONL(R, outs(), Opts.IncludeTimings);
+  }
+  if (!Quiet)
+    printBatchSummary(R, errs());
+  return R.exitCode();
+}

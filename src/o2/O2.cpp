@@ -14,26 +14,65 @@
 
 using namespace o2;
 
+const char *o2::phaseName(O2Phase P) {
+  switch (P) {
+  case O2Phase::None:
+    return "";
+  case O2Phase::PTA:
+    return "pta";
+  case O2Phase::OSA:
+    return "osa";
+  case O2Phase::SHB:
+    return "shb";
+  case O2Phase::Detect:
+    return "race";
+  }
+  return "";
+}
+
 O2Analysis o2::analyzeModule(const Module &M, const O2Config &Config) {
   O2Analysis Result;
 
+  // A cancellation token on the config reaches every phase's hot loop.
+  PTAOptions PTAOpts = Config.PTA;
+  RaceDetectorOptions DetOpts = Config.Detector;
+  if (Config.Cancel) {
+    PTAOpts.Cancel = Config.Cancel;
+    DetOpts.Cancel = Config.Cancel;
+    DetOpts.SHB.Cancel = Config.Cancel;
+  }
+
   Timer T;
-  Result.PTA = runPointerAnalysis(M, Config.PTA);
+  Result.PTA = runPointerAnalysis(M, PTAOpts);
   Result.PTASeconds = T.seconds();
+  if (Result.PTA->cancelled()) {
+    Result.CancelledIn = O2Phase::PTA;
+    return Result;
+  }
 
   if (Config.RunOSA && Config.PTA.Kind == ContextKind::Origin) {
     T.reset();
-    Result.Sharing = runSharingAnalysis(*Result.PTA);
+    Result.Sharing = runSharingAnalysis(*Result.PTA, Config.Cancel);
     Result.OSASeconds = T.seconds();
+    if (Result.Sharing.cancelled()) {
+      Result.CancelledIn = O2Phase::OSA;
+      return Result;
+    }
   }
 
   T.reset();
-  Result.SHB = buildSHBGraph(*Result.PTA, Config.Detector.SHB);
+  Result.SHB = buildSHBGraph(*Result.PTA, DetOpts.SHB);
   Result.SHBSeconds = T.seconds();
+  if (Result.SHB.cancelled()) {
+    Result.CancelledIn = O2Phase::SHB;
+    return Result;
+  }
 
   T.reset();
-  Result.Races = detectRaces(*Result.PTA, Result.SHB, Config.Detector);
+  Result.Races = detectRaces(*Result.PTA, Result.SHB, DetOpts);
   Result.DetectSeconds = T.seconds();
+  if (Result.Races.cancelled())
+    Result.CancelledIn = O2Phase::Detect;
 
   return Result;
 }

@@ -40,7 +40,8 @@ namespace o2 {
 /// points-to query on the access's base pointer.
 class SharingAnalysis {
 public:
-  explicit SharingAnalysis(const PTAResult &PTA) : PTA(PTA) {
+  SharingAnalysis(const PTAResult &PTA, const CancellationToken *Cancel)
+      : PTA(PTA), Cancel(Cancel) {
     assert(PTA.options().Kind == ContextKind::Origin &&
            "OSA runs on origin-sensitive points-to results");
   }
@@ -48,8 +49,14 @@ public:
   SharingResult run() {
     for (const auto &[F, C] : PTA.instances()) {
       unsigned Origin = PTA.originOfCtx(C);
-      for (const auto &S : F->body())
+      for (const auto &S : F->body()) {
+        if (pollCancelled(Cancel)) {
+          R.Cancelled = true;
+          finalize();
+          return std::move(R);
+        }
         visitStmt(*S, C, Origin);
+      }
     }
     finalize();
     return std::move(R);
@@ -136,6 +143,7 @@ private:
   }
 
   const PTAResult &PTA;
+  const CancellationToken *Cancel;
   SharingResult R;
   std::map<unsigned, std::set<MemLoc>> StmtLocs;
   std::set<unsigned> AccessStmts;
@@ -143,6 +151,7 @@ private:
 
 } // namespace o2
 
-SharingResult o2::runSharingAnalysis(const PTAResult &PTA) {
-  return SharingAnalysis(PTA).run();
+SharingResult o2::runSharingAnalysis(const PTAResult &PTA,
+                                     const CancellationToken *Cancel) {
+  return SharingAnalysis(PTA, Cancel).run();
 }

@@ -103,8 +103,10 @@ public:
     do {
       propagate();
     } while (applyRound());
-    if (Stopped)
-      propagate(); // bring the partial result to a closure for finalize
+    // A budget stop still brings the partial result to a closure for
+    // finalize; a cancellation unwinds immediately with whatever exists.
+    if (Stopped && !R->Cancelled)
+      propagate();
     finalizeStats();
     return std::move(R);
   }
@@ -165,6 +167,18 @@ private:
   std::unordered_set<const Function *> WrapperFns;
   std::unordered_map<uint64_t, std::vector<unsigned>> OriginsPerSite;
   bool Stopped = false;
+
+  /// Polls the cancellation token; once it fires, the solver behaves like
+  /// a budget stop (Stopped) with the result additionally flagged.
+  bool checkCancelled() {
+    if (R->Cancelled)
+      return true;
+    if (!pollCancelled(Opts.Cancel))
+      return false;
+    Stopped = true;
+    R->Cancelled = true;
+    return true;
+  }
 
   //===--------------------------------------------------------------------===//
   // Setup
@@ -479,7 +493,7 @@ private:
     if (Work.empty())
       return false;
     for (const WorkItem &W : Work) {
-      if (Stopped)
+      if (Stopped || checkCancelled())
         return false;
       applyUses(W);
     }
@@ -547,6 +561,12 @@ private:
   /// object-by-object.
   void propagateWorklist() {
     while (!Worklist.empty()) {
+      if (checkCancelled()) {
+        for (unsigned N : Worklist)
+          Nodes[N].Queued = false;
+        Worklist.clear();
+        return;
+      }
       unsigned N = Worklist.front();
       Worklist.pop_front();
       Nodes[N].Queued = false;
@@ -576,6 +596,8 @@ private:
       ++NumWaves;
       collapseSCCs();
       for (unsigned Rep : TopoOrder) {
+        if (checkCancelled())
+          return;
         BitVector Delta = std::move(Nodes[Rep].PropDelta);
         Nodes[Rep].PropDelta = BitVector();
         if (Delta.none())
@@ -797,14 +819,17 @@ private:
   //===--------------------------------------------------------------------===//
 
   void processFunction(const Function *F, Ctx C) {
-    if (Stopped)
+    if (Stopped || checkCancelled())
       return;
     uint64_t Key = (uint64_t(F->getId()) << 32) | C;
     if (!ProcessedInstances.insert(Key).second)
       return;
     R->Instances.emplace_back(F, C);
-    for (const auto &S : F->body())
+    for (const auto &S : F->body()) {
+      if (checkCancelled())
+        return;
       processStmt(*S, F, C);
+    }
   }
 
   void processAlloc(const AllocStmt &A, Ctx C) {
@@ -1022,6 +1047,8 @@ private:
     R->Stats.set("pta.scc-collapsed", NumCollapsed);
     R->Stats.set("pta.waves", NumWaves);
     R->Stats.set("pta.propagated-words", NumPropWords);
+    if (R->Cancelled)
+      R->Stats.set("pta.cancelled", 1);
   }
 };
 
@@ -1088,10 +1115,8 @@ std::string PTAResult::ctxToString(Ctx C) const {
       Out += ",";
     First = false;
     if (Opts.Kind == ContextKind::Origin) {
-      if (E & 0x80000000u)
-        Out += "w" + std::to_string(E & 0x7fffffffu);
-      else
-        Out += "O" + std::to_string(E);
+      Out += (E & 0x80000000u) ? 'w' : 'O';
+      Out += std::to_string(E & 0x7fffffffu);
     } else {
       Out += std::to_string(E);
     }

@@ -34,6 +34,8 @@ public:
         R.Stats.set("race.budget-hit", 1);
         break;
       }
+      if (R.Cancelled)
+        break;
       checkLocation(Loc, Accesses);
     }
     finalize();
@@ -172,6 +174,10 @@ private:
                                : AllAccesses;
     for (size_t I = 0; I < Accesses.size(); ++I) {
       for (size_t J = I + 1; J < Accesses.size(); ++J) {
+        if (pollCancelled(Opts.Cancel)) {
+          R.Cancelled = true;
+          return;
+        }
         const AccessEvent &A = *Accesses[I];
         const AccessEvent &B = *Accesses[J];
         if (A.Thread == B.Thread)
@@ -219,6 +225,8 @@ private:
                 return X.B->getId() < Y.B->getId();
               });
     R.Stats.set("race.races", R.Races.size());
+    if (R.Cancelled)
+      R.Stats.set("race.cancelled", 1);
   }
 
   const PTAResult &PTA;

@@ -164,7 +164,7 @@ public:
     G.Threads[0].Entry = Main;
     Queue.push_back(0);
 
-    while (!Queue.empty()) {
+    while (!Queue.empty() && !G.Cancelled) {
       unsigned T = Queue.front();
       Queue.pop_front();
       traceThread(T);
@@ -266,6 +266,11 @@ private:
 
     for (const auto &StmtPtr : F->body()) {
       const Stmt &Stm = *StmtPtr;
+      if (pollCancelled(Opts.Cancel)) {
+        G.Cancelled = true;
+        S.Truncated = true;
+        return;
+      }
       if (S.Pos >= Opts.MaxEventsPerThread) {
         S.Truncated = true;
         return;

@@ -1,0 +1,99 @@
+//===- ThreadPool.cpp - Work-stealing thread pool --------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/Support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace o2;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = std::max(1u, std::thread::hardware_concurrency());
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.push_back(std::make_unique<Worker>());
+  Threads.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> Lock(SleepMutex);
+    Stopping = true;
+  }
+  WorkCV.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  unsigned Target;
+  {
+    std::lock_guard<std::mutex> Lock(SleepMutex);
+    ++Outstanding;
+    Target = NextWorker;
+    NextWorker = (NextWorker + 1) % Workers.size();
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Workers[Target]->Mutex);
+    Workers[Target]->Deque.push_back(std::move(Task));
+  }
+  WorkCV.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(SleepMutex);
+  IdleCV.wait(Lock, [this] { return Outstanding == 0; });
+}
+
+bool ThreadPool::popOwn(unsigned Me, std::function<void()> &Task) {
+  Worker &W = *Workers[Me];
+  std::lock_guard<std::mutex> Lock(W.Mutex);
+  if (W.Deque.empty())
+    return false;
+  Task = std::move(W.Deque.back());
+  W.Deque.pop_back();
+  return true;
+}
+
+bool ThreadPool::steal(unsigned Me, std::function<void()> &Task) {
+  const unsigned N = static_cast<unsigned>(Workers.size());
+  for (unsigned Off = 1; Off < N; ++Off) {
+    Worker &Victim = *Workers[(Me + Off) % N];
+    std::lock_guard<std::mutex> Lock(Victim.Mutex);
+    if (Victim.Deque.empty())
+      continue;
+    Task = std::move(Victim.Deque.front());
+    Victim.Deque.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Me) {
+  while (true) {
+    std::function<void()> Task;
+    if (popOwn(Me, Task) || steal(Me, Task)) {
+      Task();
+      std::lock_guard<std::mutex> Lock(SleepMutex);
+      if (--Outstanding == 0)
+        IdleCV.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(SleepMutex);
+    if (Stopping)
+      return;
+    // Recheck under the sleep lock: a submit() between our empty scan and
+    // here would have notified before we started waiting. The timeout is
+    // a backstop against the benign lost-wakeup window on the scan.
+    WorkCV.wait_for(Lock, std::chrono::milliseconds(2));
+  }
+}

@@ -1,0 +1,328 @@
+//===- DriverTest.cpp - Batch-analysis driver tests ---------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the batch driver: job status classification, deterministic
+// reports across worker counts and runs, per-job deadline degradation,
+// per-phase cancellation, baseline diffing with reorder-stable
+// fingerprints, and the shared exit-code convention.
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/Driver/Driver.h"
+
+#include "o2/IR/Parser.h"
+#include "o2/Support/OutputStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace o2;
+
+namespace {
+
+const char *RacyProgram = R"(
+  class T {
+    method run() { var x: int; @g = x; }
+  }
+  global g: int;
+  func main() {
+    var t: T;
+    var x: int;
+    t = new T;
+    spawn t.run();
+    x = @g;
+  }
+)";
+
+const char *CleanProgram = R"(
+  class T { method run() { var x: int; } }
+  func main() {
+    var t: T;
+    t = new T;
+    spawn t.run();
+  }
+)";
+
+JobSpec sourceSpec(std::string Name, std::string Source) {
+  JobSpec S;
+  S.Name = std::move(Name);
+  S.Source = std::move(Source);
+  return S;
+}
+
+std::string renderJSONL(const BatchResult &R) {
+  std::string Buf;
+  StringOutputStream OS(Buf);
+  printJSONL(R, OS);
+  return Buf;
+}
+
+TEST(DriverTest, StatusClassification) {
+  std::vector<JobSpec> Specs = {
+      sourceSpec("clean", CleanProgram),
+      sourceSpec("racy", RacyProgram),
+      sourceSpec("broken", "class {"),
+      sourceSpec("headless", "func helper() { }"), // no main
+  };
+  BatchResult R = runBatch(Specs);
+  ASSERT_EQ(R.Jobs.size(), 4u);
+  // Sorted by name.
+  EXPECT_EQ(R.Jobs[0].Name, "broken");
+  EXPECT_EQ(R.Jobs[1].Name, "clean");
+  EXPECT_EQ(R.Jobs[2].Name, "headless");
+  EXPECT_EQ(R.Jobs[3].Name, "racy");
+
+  EXPECT_EQ(R.Jobs[0].Status, JobStatus::ParseError);
+  EXPECT_NE(R.Jobs[0].Error.find(":"), std::string::npos)
+      << "parse diagnostics carry a position: " << R.Jobs[0].Error;
+  EXPECT_EQ(R.Jobs[1].Status, JobStatus::Clean);
+  EXPECT_TRUE(R.Jobs[1].Races.empty());
+  EXPECT_EQ(R.Jobs[2].Status, JobStatus::VerifyError);
+  EXPECT_NE(R.Jobs[2].Error.find("main"), std::string::npos)
+      << R.Jobs[2].Error;
+  EXPECT_EQ(R.Jobs[3].Status, JobStatus::Races);
+  EXPECT_EQ(R.Jobs[3].Races.size(), 1u);
+  EXPECT_EQ(R.Jobs[3].Races[0].Location, "@g");
+
+  EXPECT_EQ(R.Summary.get("jobs.total"), 4u);
+  EXPECT_EQ(R.Summary.get("jobs.clean"), 1u);
+  EXPECT_EQ(R.Summary.get("jobs.races"), 1u);
+  EXPECT_EQ(R.Summary.get("jobs.parse-error"), 1u);
+  EXPECT_EQ(R.Summary.get("jobs.verify-error"), 1u);
+  EXPECT_EQ(R.Summary.get("races.total"), 1u);
+  EXPECT_EQ(R.exitCode(), ExitError);
+}
+
+TEST(DriverTest, DeterministicAcrossWorkerCountsAndRuns) {
+  std::vector<JobSpec> Specs;
+  for (int I = 0; I < 6; ++I)
+    Specs.push_back(sourceSpec("racy" + std::to_string(I), RacyProgram));
+  Specs.push_back(sourceSpec("clean", CleanProgram));
+
+  BatchOptions Serial;
+  Serial.Jobs = 1;
+  BatchOptions Wide;
+  Wide.Jobs = 4;
+
+  std::string Golden = renderJSONL(runBatch(Specs, Serial));
+  EXPECT_EQ(renderJSONL(runBatch(Specs, Wide)), Golden);
+  EXPECT_EQ(renderJSONL(runBatch(Specs, Wide)), Golden);
+  EXPECT_EQ(renderJSONL(runBatch(Specs, Serial)), Golden);
+
+  // One JSONL record per job plus the aggregate.
+  size_t Lines = 0;
+  for (char C : Golden)
+    Lines += C == '\n';
+  EXPECT_EQ(Lines, Specs.size() + 1);
+}
+
+TEST(DriverTest, DeadlineTimeoutIsIsolatedPerJob) {
+  // "telegram" is the heaviest generated workload (context amplifier with
+  // fan-out 32): far more than a millisecond of pointer analysis, so the
+  // deadline always fires in the first phase — while the tiny racy
+  // module on the same pool still completes normally.
+  const WorkloadProfile *Heavy = findProfile("telegram");
+  ASSERT_NE(Heavy, nullptr);
+  JobSpec HeavySpec;
+  HeavySpec.Name = "heavy";
+  HeavySpec.Profile = Heavy;
+  std::vector<JobSpec> Specs = {HeavySpec, sourceSpec("tiny", RacyProgram)};
+
+  BatchOptions Opts;
+  Opts.Jobs = 2;
+  Opts.DeadlineMs = 1;
+  BatchResult R = runBatch(Specs, Opts);
+  ASSERT_EQ(R.Jobs.size(), 2u);
+
+  const JobResult &HeavyJob = R.Jobs[0];
+  EXPECT_EQ(HeavyJob.Name, "heavy");
+  EXPECT_EQ(HeavyJob.Status, JobStatus::Timeout);
+  EXPECT_EQ(HeavyJob.Phase, "pta");
+  // Partial statistics survive: the solver got far enough to allocate.
+  EXPECT_GT(HeavyJob.Stats.get("pta.pointer-nodes"), 0u);
+  EXPECT_EQ(HeavyJob.Stats.get("pta.cancelled"), 1u);
+
+  const JobResult &TinyJob = R.Jobs[1];
+  EXPECT_EQ(TinyJob.Status, JobStatus::Races);
+  EXPECT_EQ(TinyJob.Races.size(), 1u);
+
+  EXPECT_EQ(R.Summary.get("jobs.timeout"), 1u);
+  EXPECT_EQ(R.exitCode(), ExitError);
+}
+
+TEST(DriverTest, PreCancelledTokenStopsEveryPhase) {
+  std::string Err;
+  auto M = parseModule(RacyProgram, Err);
+  ASSERT_TRUE(M) << Err;
+
+  CancellationToken Cancelled;
+  Cancelled.cancel();
+
+  // PTA stops and flags its (partial) result.
+  PTAOptions PTAOpts;
+  PTAOpts.Cancel = &Cancelled;
+  auto PTA = runPointerAnalysis(*M, PTAOpts);
+  EXPECT_TRUE(PTA->cancelled());
+
+  // The later phases each poll the token themselves.
+  auto FullPTA = runPointerAnalysis(*M, PTAOptions());
+  ASSERT_FALSE(FullPTA->cancelled());
+  EXPECT_TRUE(runSharingAnalysis(*FullPTA, &Cancelled).cancelled());
+
+  SHBOptions SHBOpts;
+  SHBOpts.Cancel = &Cancelled;
+  EXPECT_TRUE(buildSHBGraph(*FullPTA, SHBOpts).cancelled());
+
+  RaceDetectorOptions DetOpts;
+  DetOpts.Cancel = &Cancelled;
+  RaceReport Report = detectRaces(*FullPTA, DetOpts);
+  EXPECT_TRUE(Report.cancelled());
+  EXPECT_EQ(Report.stats().get("race.cancelled"), 1u);
+
+  // Through the facade: the pipeline dies in the first phase and the
+  // phase is recorded.
+  O2Config Cfg;
+  Cfg.Cancel = &Cancelled;
+  O2Analysis A = analyzeModule(*M, Cfg);
+  EXPECT_TRUE(A.cancelled());
+  EXPECT_EQ(A.CancelledIn, O2Phase::PTA);
+  EXPECT_STREQ(phaseName(A.CancelledIn), "pta");
+}
+
+// Version 1: two independent races, on @a and on @b.
+const char *BaselineV1 = R"(
+  class T {
+    method run() {
+      var x: int;
+      @a = x;
+      @b = x;
+    }
+  }
+  global a: int;
+  global b: int;
+  func main() {
+    var t: T;
+    var x: int;
+    t = new T;
+    spawn t.run();
+    x = @a;
+    x = @b;
+  }
+)";
+
+// Version 2: unrelated code added and reordered (globals shuffled, a
+// padding class and new locals inserted, statements moved), the @b race
+// removed, a new race on @c introduced. The @a race is textually the
+// same accesses — its fingerprint must survive all the reordering.
+const char *BaselineV2 = R"(
+  global c: int;
+  global b: int;
+  global a: int;
+  class Pad { field p: int; }
+  class T {
+    method run() {
+      var x: int;
+      var y: int;
+      @c = x;
+      @a = x;
+    }
+  }
+  func main() {
+    var p: Pad;
+    var t: T;
+    var x: int;
+    p = new Pad;
+    x = p.p;
+    t = new T;
+    spawn t.run();
+    x = @c;
+    x = @a;
+  }
+)";
+
+TEST(DriverTest, BaselineDiffWithReorderStableFingerprints) {
+  BatchResult Before = runBatch({sourceSpec("m", BaselineV1)});
+  ASSERT_EQ(Before.Jobs.size(), 1u);
+  ASSERT_EQ(Before.Jobs[0].Races.size(), 2u);
+  std::string FPA, FPB;
+  for (const RaceRecord &Rc : Before.Jobs[0].Races) {
+    if (Rc.Location == "@a")
+      FPA = Rc.Fingerprint;
+    if (Rc.Location == "@b")
+      FPB = Rc.Fingerprint;
+  }
+  ASSERT_FALSE(FPA.empty());
+  ASSERT_FALSE(FPB.empty());
+  EXPECT_NE(FPA, FPB);
+
+  Baseline Base = loadBaseline(renderJSONL(Before));
+  ASSERT_EQ(Base.count("m"), 1u);
+  EXPECT_EQ(Base["m"].size(), 2u);
+  EXPECT_TRUE(Base["m"].count(FPA));
+  EXPECT_TRUE(Base["m"].count(FPB));
+
+  BatchResult After = runBatch({sourceSpec("m", BaselineV2)});
+  ASSERT_EQ(After.Jobs.size(), 1u);
+  ASSERT_EQ(After.Jobs[0].Races.size(), 2u);
+  applyBaseline(After, Base);
+
+  for (const RaceRecord &Rc : After.Jobs[0].Races) {
+    if (Rc.Location == "@a") {
+      // Same accesses despite all the unrelated churn: unchanged.
+      EXPECT_EQ(Rc.Fingerprint, FPA);
+      EXPECT_EQ(Rc.DiffStatus, "unchanged");
+    } else {
+      EXPECT_EQ(Rc.Location, "@c");
+      EXPECT_EQ(Rc.DiffStatus, "new");
+    }
+  }
+  ASSERT_EQ(After.Jobs[0].FixedRaces.size(), 1u);
+  EXPECT_EQ(After.Jobs[0].FixedRaces[0], FPB);
+  EXPECT_EQ(After.Summary.get("diff.new"), 1u);
+  EXPECT_EQ(After.Summary.get("diff.unchanged"), 1u);
+  EXPECT_EQ(After.Summary.get("diff.fixed"), 1u);
+
+  // The diff annotations land in the JSONL report.
+  std::string Report = renderJSONL(After);
+  EXPECT_NE(Report.find("\"diff\":\"new\""), std::string::npos);
+  EXPECT_NE(Report.find("\"diff\":\"unchanged\""), std::string::npos);
+  EXPECT_NE(Report.find("\"fixed\":[\"" + FPB + "\"]"), std::string::npos);
+}
+
+TEST(DriverTest, ExitCodeConvention) {
+  EXPECT_EQ(exitCodeFor(JobStatus::Clean), ExitClean);
+  EXPECT_EQ(exitCodeFor(JobStatus::Races), ExitRacesFound);
+  EXPECT_EQ(exitCodeFor(JobStatus::Timeout), ExitError);
+  EXPECT_EQ(exitCodeFor(JobStatus::ParseError), ExitError);
+  EXPECT_EQ(exitCodeFor(JobStatus::VerifyError), ExitError);
+  EXPECT_EQ(exitCodeFor(JobStatus::InternalError), ExitError);
+
+  // Aggregate: the worst job wins.
+  EXPECT_EQ(runBatch({sourceSpec("c", CleanProgram)}).exitCode(), ExitClean);
+  EXPECT_EQ(runBatch({sourceSpec("c", CleanProgram),
+                      sourceSpec("r", RacyProgram)})
+                .exitCode(),
+            ExitRacesFound);
+  EXPECT_EQ(runBatch({sourceSpec("c", CleanProgram),
+                      sourceSpec("r", RacyProgram),
+                      sourceSpec("x", "class {")})
+                .exitCode(),
+            ExitError);
+}
+
+TEST(DriverTest, LoadBaselineHandlesEscapesAndJunk) {
+  Baseline B = loadBaseline(
+      "not json at all\n"
+      "{\"module\":\"with \\\"quotes\\\"\",\"races\":[{\"fingerprint\":"
+      "\"00ff00ff00ff00ff\"}]}\n"
+      "{\"aggregate\":true,\"summary\":{}}\n");
+  ASSERT_EQ(B.size(), 1u);
+  ASSERT_EQ(B.count("with \"quotes\""), 1u);
+  EXPECT_TRUE(B["with \"quotes\""].count("00ff00ff00ff00ff"));
+}
+
+} // namespace

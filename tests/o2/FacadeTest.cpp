@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 using namespace o2;
 
 namespace {
@@ -122,6 +124,46 @@ TEST(FacadeTest, SummaryMentionsEveryPhase) {
   EXPECT_NE(Buf.find("SHB:"), std::string::npos);
   EXPECT_NE(Buf.find("races: 1"), std::string::npos);
   EXPECT_NE(Buf.find("1-origin"), std::string::npos);
+}
+
+TEST(FacadeTest, ConcurrentAnalysesKeepIndependentStatistics) {
+  // Statistics are instance-based, not process-global: two analyses
+  // running at the same time (the batch driver's normal mode) must each
+  // produce exactly the counters a serial run produces. A shared mutable
+  // registry would double-count under this interleaving.
+  auto MA = parseProgram(Program);
+  auto MB = parseProgram(R"(
+    class T {
+      method run() { var x: int; @g = x; }
+    }
+    global g: int;
+    func main() {
+      var t: T;
+      var x: int;
+      t = new T;
+      spawn t.run();
+      x = @g;
+    }
+  )");
+
+  O2Analysis SerialA = analyzeModule(*MA);
+  O2Analysis SerialB = analyzeModule(*MB);
+
+  for (int Round = 0; Round < 4; ++Round) {
+    O2Analysis ParA, ParB;
+    std::thread TA([&] { ParA = analyzeModule(*MA); });
+    std::thread TB([&] { ParB = analyzeModule(*MB); });
+    TA.join();
+    TB.join();
+    EXPECT_EQ(ParA.PTA->stats().counters(), SerialA.PTA->stats().counters());
+    EXPECT_EQ(ParB.PTA->stats().counters(), SerialB.PTA->stats().counters());
+    EXPECT_EQ(ParA.Races.stats().counters(),
+              SerialA.Races.stats().counters());
+    EXPECT_EQ(ParB.Races.stats().counters(),
+              SerialB.Races.stats().counters());
+    EXPECT_EQ(ParA.Races.numRaces(), SerialA.Races.numRaces());
+    EXPECT_EQ(ParB.Races.numRaces(), SerialB.Races.numRaces());
+  }
 }
 
 } // namespace

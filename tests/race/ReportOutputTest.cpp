@@ -6,6 +6,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "o2/Driver/Driver.h"
 #include "o2/IR/Parser.h"
 #include "o2/IR/Verifier.h"
 #include "o2/O2.h"
@@ -135,6 +136,36 @@ TEST(ReportOutputTest, SHBDotExport) {
   EXPECT_NE(Buf.find("(main)"), std::string::npos);
   EXPECT_NE(Buf.find("(thread)"), std::string::npos);
   EXPECT_NE(Buf.find("spawn@"), std::string::npos);
+}
+
+TEST(ReportOutputTest, CLIExitCodeConvention) {
+  // o2cli and o2batch share one convention: 0 clean, 1 races found,
+  // 2 for parse/verify/internal errors and timeouts.
+  EXPECT_EQ(ExitClean, 0);
+  EXPECT_EQ(ExitRacesFound, 1);
+  EXPECT_EQ(ExitError, 2);
+
+  // A racy analysis maps onto exit 1, a clean one onto exit 0 — this is
+  // what o2cli returns after the analysis ran.
+  auto Racy = parseProgram(RacyProgram);
+  O2Analysis RacyResult = analyzeModule(*Racy);
+  EXPECT_EQ(RacyResult.Races.numRaces() == 0 ? ExitClean : ExitRacesFound,
+            ExitRacesFound);
+
+  auto Clean = parseProgram("func main() { }");
+  O2Analysis CleanResult = analyzeModule(*Clean);
+  EXPECT_EQ(CleanResult.Races.numRaces() == 0 ? ExitClean : ExitRacesFound,
+            ExitClean);
+
+  // Failure modes map onto exit 2 through the shared jobStatusName /
+  // exitCodeFor pair the batch driver uses for its per-job records.
+  EXPECT_EQ(exitCodeFor(JobStatus::ParseError), ExitError);
+  EXPECT_EQ(exitCodeFor(JobStatus::VerifyError), ExitError);
+  EXPECT_EQ(exitCodeFor(JobStatus::InternalError), ExitError);
+  JobSpec Broken;
+  Broken.Name = "broken";
+  Broken.Source = "class {";
+  EXPECT_EQ(exitCodeFor(runOneJob(Broken).Status), ExitError);
 }
 
 TEST(ReportOutputTest, SHBDotShowsJoins) {

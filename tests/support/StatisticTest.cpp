@@ -47,4 +47,20 @@ TEST(StatisticTest, PrintSortedByName) {
   EXPECT_EQ(Buf, "2  alpha\n1  zeta\n");
 }
 
+TEST(StatisticTest, MergeAddsEveryCounter) {
+  StatisticRegistry A;
+  A.add("shared", 2);
+  A.add("only-a", 1);
+  StatisticRegistry B;
+  B.add("shared", 3);
+  B.add("only-b", 7);
+  A.merge(B);
+  EXPECT_EQ(A.get("shared"), 5u);
+  EXPECT_EQ(A.get("only-a"), 1u);
+  EXPECT_EQ(A.get("only-b"), 7u);
+  // The source registry is untouched.
+  EXPECT_EQ(B.get("shared"), 3u);
+  EXPECT_EQ(B.get("only-a"), 0u);
+}
+
 } // namespace
