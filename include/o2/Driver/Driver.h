@@ -37,6 +37,7 @@
 namespace o2 {
 
 class OutputStream;
+class ThreadPool;
 
 /// Terminal state of one analysis job.
 enum class JobStatus : uint8_t {
@@ -143,6 +144,16 @@ BatchResult runBatch(const std::vector<JobSpec> &Specs,
 
 /// Runs a single spec synchronously (what each pool worker executes).
 JobResult runOneJob(const JobSpec &Spec, const BatchOptions &Opts = {});
+
+/// Same, but lends \p SharedPool to the job's parallel race engine
+/// (unless the configuration already names a pool). The engine's
+/// caller-participation scheduling makes this safe from a pool worker:
+/// the job never blocks waiting on unrelated pool tasks, so batch-level
+/// and race-level parallelism share one set of threads instead of
+/// multiplying. Results are unaffected — the race engine is
+/// report-deterministic for any pool.
+JobResult runOneJob(const JobSpec &Spec, const BatchOptions &Opts,
+                    ThreadPool *SharedPool);
 
 /// Baseline for diff mode: module name -> race fingerprints, recovered
 /// from a previous JSONL report.

@@ -128,6 +128,10 @@ public:
     return Locksets.get(L);
   }
 
+  /// Number of interned canonical locksets (valid LocksetIds are
+  /// [0, numLocksets()); 0 is the empty lockset).
+  size_t numLocksets() const { return Locksets.size(); }
+
   /// True if the two locksets share a lock (optimization 2: canonical IDs
   /// with a memoized pairwise test).
   bool locksetsIntersect(LocksetId A, LocksetId B) const;

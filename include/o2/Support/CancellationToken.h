@@ -14,9 +14,11 @@
 /// This is what lets one exploding module in a batch run degrade
 /// gracefully instead of stalling the fleet.
 ///
-/// Threading model: any thread may call cancel(); poll() is meant to be
-/// called by the single worker thread running the analysis (it keeps a
-/// non-atomic poll counter so the fast path is one relaxed atomic load).
+/// Threading model: any thread may call cancel(); poll() may be called
+/// concurrently from many threads (the parallel race engine's shard
+/// workers all poll one token) — the poll counter is a relaxed atomic, so
+/// the fast path stays two relaxed atomic ops and the 1-in-64 clock-read
+/// sampling is approximate across pollers, which is fine for a deadline.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,14 +57,15 @@ public:
   }
 
   /// Hot-loop check: one relaxed load, plus a clock read on the first and
-  /// then every 64th call when a deadline is armed. Latches the cancelled
-  /// flag once the deadline passes. Single-poller (see file comment).
+  /// then roughly every 64th call when a deadline is armed. Latches the
+  /// cancelled flag once the deadline passes. Safe to call from multiple
+  /// threads (see file comment).
   bool poll() const {
     if (Cancelled.load(std::memory_order_relaxed))
       return true;
     if (!HasDeadline)
       return false;
-    if (PollCount++ % 64 != 0)
+    if (PollCount.fetch_add(1, std::memory_order_relaxed) % 64 != 0)
       return false;
     if (Clock::now() >= Deadline) {
       Cancelled.store(true, std::memory_order_relaxed);
@@ -75,7 +78,7 @@ private:
   using Clock = std::chrono::steady_clock;
 
   mutable std::atomic<bool> Cancelled{false};
-  mutable uint64_t PollCount = 0;
+  mutable std::atomic<uint64_t> PollCount{0};
   Clock::time_point Deadline{};
   bool HasDeadline = false;
 };

@@ -159,6 +159,11 @@ static std::string readFileContent(const std::string &Path, bool &Ok) {
 }
 
 JobResult o2::runOneJob(const JobSpec &Spec, const BatchOptions &Opts) {
+  return runOneJob(Spec, Opts, nullptr);
+}
+
+JobResult o2::runOneJob(const JobSpec &Spec, const BatchOptions &Opts,
+                        ThreadPool *SharedPool) {
   JobResult R;
   R.Name = Spec.Name;
   try {
@@ -198,6 +203,8 @@ JobResult o2::runOneJob(const JobSpec &Spec, const BatchOptions &Opts) {
     // analysis phases are where pathological modules blow up.
     CancellationToken Deadline;
     O2Config Cfg = Opts.Config;
+    if (!Cfg.Detector.Pool && SharedPool)
+      Cfg.Detector.Pool = SharedPool;
     if (Opts.DeadlineMs) {
       Deadline.setDeadlineMs(double(Opts.DeadlineMs));
       Cfg.Cancel = &Deadline;
@@ -239,8 +246,11 @@ BatchResult o2::runBatch(const std::vector<JobSpec> &Specs,
     // only synchronization needed is the pool's own wait().
     ThreadPool Pool(Opts.Jobs);
     for (size_t I = 0; I < Specs.size(); ++I)
-      Pool.submit([&R, &Specs, &Opts, I] {
-        R.Jobs[I] = runOneJob(Specs[I], Opts);
+      Pool.submit([&R, &Specs, &Opts, &Pool, I] {
+        // Jobs lend the batch pool to their parallel race engine, so a
+        // lone huge module at the tail of the corpus fans out over the
+        // workers the finished jobs freed up.
+        R.Jobs[I] = runOneJob(Specs[I], Opts, &Pool);
       });
     Pool.wait();
   }
@@ -485,6 +495,11 @@ static void printBatchUsage(OutputStream &OS) {
         "(default: origin)\n"
      << "  --k=N             context depth for cfa/obj\n"
      << "  --solver=S        pta solver: wave, worklist\n"
+     << "  --race-engine=E   race engine: parallel (default), serial\n"
+     << "  --race-hb=H       serial-engine HB queries: index (default), "
+        "memo, naive\n"
+     << "  --race-jobs=N     race-engine worker cap per module (default: "
+        "share the batch pool)\n"
      << "  --quiet           no human-readable summary on stderr\n"
      << "\n"
      << "exit codes: 0 all clean, 1 races found, 2 any parse/verify/"
@@ -544,6 +559,31 @@ int o2::runBatchCommand(const std::vector<std::string> &Args) {
         errs() << "o2batch: unknown solver '" << V << "'\n";
         return ExitError;
       }
+    } else if (Arg.rfind("--race-engine=", 0) == 0) {
+      std::string V = Value();
+      if (V == "serial")
+        Opts.Config.Detector.Engine = RaceEngineKind::Serial;
+      else if (V == "parallel")
+        Opts.Config.Detector.Engine = RaceEngineKind::Parallel;
+      else {
+        errs() << "o2batch: unknown race engine '" << V << "'\n";
+        return ExitError;
+      }
+    } else if (Arg.rfind("--race-hb=", 0) == 0) {
+      std::string V = Value();
+      if (V == "naive")
+        Opts.Config.Detector.HB = RaceHBKind::Naive;
+      else if (V == "memo")
+        Opts.Config.Detector.HB = RaceHBKind::Memo;
+      else if (V == "index")
+        Opts.Config.Detector.HB = RaceHBKind::Index;
+      else {
+        errs() << "o2batch: unknown race HB mode '" << V << "'\n";
+        return ExitError;
+      }
+    } else if (Arg.rfind("--race-jobs=", 0) == 0) {
+      Opts.Config.Detector.Jobs =
+          unsigned(std::strtoul(Value().c_str(), nullptr, 10));
     } else if (Arg == "--quiet") {
       Quiet = true;
     } else if (Arg.rfind("--", 0) == 0) {

@@ -1,0 +1,396 @@
+//===- ParallelRaceEngine.cpp - Sharded class-based race engine ------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+//
+// The parallel race engine: shards the sorted candidate-location list
+// across a thread pool and, per location, replaces the serial O(n^2)
+// pairwise scan with equivalence-class math over the precomputed HBIndex.
+//
+// ## Equivalence classes
+//
+// Accesses to one location are grouped by (thread, HB segment, lockset,
+// is-write). Every member of a class has the same reachability row in the
+// HBIndex and the same lockset, so for a pair of classes (Ci, Cj) one
+// lockset lookup and two reach() lookups decide *all* |Ci|*|Cj| access
+// pairs at once:
+//
+//   - the serial scan's first HB query hb(A, B) for A in Ci, B in Cj is
+//     false exactly for the B whose position precedes
+//     R12 = reach(row(Ci), thread(Cj)) — a prefix of Cj's
+//     position-sorted members, found by binary search;
+//   - symmetrically hb(B, A) is false exactly for the prefix of Ci
+//     before R21 = reach(row(Cj), thread(Ci));
+//   - the racy pairs of the class pair are the rectangle
+//     prefix(Ci, cut21) x prefix(Cj, cut12).
+//
+// ## The determinism contract
+//
+// The engine reproduces the serial report byte-for-byte and the serial
+// counters exactly, at any worker count:
+//
+//   - Counters charge what the serial scan *would have done* (|Ci|*|Cj|
+//     pair checks and lockset checks; N + |Ci|*cut12 HB queries, the
+//     short-circuited second query included), not the lookups actually
+//     performed — so they are schedule-independent. No cache-occupancy
+//     counters are emitted for the same reason.
+//   - The serial engine dedups statement pairs globally in scan order and
+//     the first reporting pair fixes the race payload. Candidate
+//     locations are sorted, and within one location the access vector is
+//     sorted by (thread, position); because classes never span threads,
+//     the first racy (I, J) index pair for a statement pair inside a
+//     rectangle is (first occurrence of stmt A in the Ci prefix, first
+//     occurrence of stmt B in the Cj prefix). Each location therefore
+//     reduces to "per statement pair, the minimum (I, J) rank and its
+//     payload", computed shard-locally, and the shards are folded in
+//     canonical location order through the same global dedup set the
+//     serial engine uses.
+//
+// ## Scheduling
+//
+// Workers (pool tasks plus the calling thread, which always
+// participates) pull one location at a time from a shared atomic cursor;
+// a condition variable counts completed locations so the caller can
+// return as soon as the last location finishes. Pool tasks that start
+// late — possibly after the engine already returned, when sharing an
+// external pool — observe an exhausted cursor and exit touching nothing
+// but the shared-ptr-owned scheduler state, which is what makes sharing
+// the batch driver's pool safe without a drain barrier.
+//
+//===----------------------------------------------------------------------===//
+
+#include "RaceEngine.h"
+
+#include "o2/SHB/HBIndex.h"
+#include "o2/Support/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+using namespace o2;
+using namespace o2::race_detail;
+
+namespace {
+
+/// One statement pair a location wants to report: the minimum-rank racy
+/// access pair with that statement pair, payload prebuilt.
+struct PendingRace {
+  uint64_t Rank; ///< (lower global index << 32) | higher global index.
+  uint64_t Key;  ///< stmtPairKey of the two statements.
+  Race Rc;
+};
+
+/// Everything one candidate location contributes, mergeable in canonical
+/// order after the shards finish.
+struct LocationResult {
+  uint64_t PairsChecked = 0;
+  uint64_t LocksetChecks = 0;
+  uint64_t HBQueries = 0;
+  uint64_t Merged = 0;
+  std::vector<PendingRace> Pending;
+};
+
+/// One equivalence class: accesses of one thread/segment/lockset/is-write
+/// at one location, in position order.
+struct AccessClass {
+  unsigned Thread;
+  unsigned Row; ///< HBIndex row of (Thread, segment).
+  LocksetId Lockset;
+  bool IsWrite;
+  std::vector<uint32_t> Pos;              ///< Ascending.
+  std::vector<uint32_t> Idx;              ///< Global (merged-vector) index.
+  std::vector<const AccessEvent *> Ev;
+
+  /// First occurrence of each distinct statement: (member rank, event).
+  /// Built on demand — only classes that land in a racy rectangle pay.
+  bool StmtsBuilt = false;
+  std::vector<std::pair<uint32_t, const AccessEvent *>> Stmts;
+
+  size_t size() const { return Pos.size(); }
+
+  const std::vector<std::pair<uint32_t, const AccessEvent *>> &stmts() {
+    if (!StmtsBuilt) {
+      StmtsBuilt = true;
+      std::unordered_set<const Stmt *> Seen;
+      for (uint32_t R = 0; R < Ev.size(); ++R)
+        if (Seen.insert(Ev[R]->S).second)
+          Stmts.emplace_back(R, Ev[R]);
+    }
+    return Stmts;
+  }
+};
+
+/// Class key: (thread, segment) and (lockset, is-write), packed.
+struct ClassKey {
+  uint64_t ThreadSeg;
+  uint64_t LocksetWrite;
+  bool operator==(const ClassKey &RHS) const {
+    return ThreadSeg == RHS.ThreadSeg && LocksetWrite == RHS.LocksetWrite;
+  }
+};
+struct ClassKeyHash {
+  size_t operator()(const ClassKey &K) const {
+    uint64_t H = K.ThreadSeg * 0x9e3779b97f4a7c15ull;
+    H ^= K.LocksetWrite + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+    return static_cast<size_t>(H);
+  }
+};
+
+/// Per-participant lockset intersection: the precomputed matrix when
+/// available, otherwise a shard-local memo over the uncached merge test
+/// (SHBGraph's own caches are single-threaded).
+struct LocksetOracle {
+  const SHBGraph &SHB;
+  const LocksetMatrix *Matrix;
+  bool UseCache;
+  std::unordered_map<uint64_t, bool> Cache;
+
+  bool intersect(LocksetId A, LocksetId B) {
+    if (Matrix)
+      return Matrix->intersect(A, B);
+    if (!UseCache)
+      return SHB.locksetsIntersectUncached(A, B);
+    uint64_t K = A < B ? (uint64_t(A) << 32) | B : (uint64_t(B) << 32) | A;
+    auto It = Cache.find(K);
+    if (It != Cache.end())
+      return It->second;
+    bool R = SHB.locksetsIntersectUncached(A, B);
+    Cache.emplace(K, R);
+    return R;
+  }
+};
+
+/// Scheduler state shared by the caller and the pool tasks. Held by
+/// shared_ptr so a late task outliving the engine call touches only live
+/// memory; the pointers into the caller's frame are valid whenever a task
+/// holds an unprocessed location index (the caller cannot have returned
+/// while one remains).
+struct EngineState {
+  const CandidateList *Candidates = nullptr;
+  const SHBGraph *SHB = nullptr;
+  const HBIndex *HBI = nullptr;
+  const LocksetMatrix *Matrix = nullptr;
+  const RaceDetectorOptions *Opts = nullptr;
+  std::vector<LocationResult> Results;
+  size_t NumLocations = 0;
+
+  std::atomic<size_t> Next{0};
+  std::atomic<bool> CancelFlag{false};
+  std::mutex Mutex;
+  std::condition_variable DoneCV;
+  size_t Remaining = 0;
+};
+
+void processLocation(EngineState &S, size_t LocIdx, LocksetOracle &Locksets) {
+  const RaceDetectorOptions &Opts = *S.Opts;
+  const HBIndex &HBI = *S.HBI;
+  const auto &[Loc, AllAccesses] = (*S.Candidates)[LocIdx];
+  LocationResult &LR = S.Results[LocIdx];
+
+  std::vector<const AccessEvent *> Accesses =
+      Opts.LockRegionMerging ? mergeByLockRegion(AllAccesses, LR.Merged)
+                             : AllAccesses;
+
+  // Group into equivalence classes, in first-occurrence order. The access
+  // vector ascends by (thread, position), so classes of different threads
+  // never interleave: for I < J with different threads, every member of
+  // class I has a smaller global index than every member of class J —
+  // which is what lets a rectangle's minimum rank be read off the class
+  // prefixes below.
+  std::vector<AccessClass> Classes;
+  std::unordered_map<ClassKey, size_t, ClassKeyHash> ByKey;
+  for (uint32_t K = 0; K < Accesses.size(); ++K) {
+    const AccessEvent *E = Accesses[K];
+    unsigned Seg = HBI.segmentOf(E->Thread, E->Pos);
+    ClassKey Key{(uint64_t(E->Thread) << 32) | Seg,
+                 (uint64_t(E->Lockset) << 1) | E->IsWrite};
+    auto [It, New] = ByKey.emplace(Key, Classes.size());
+    if (New) {
+      AccessClass C;
+      C.Thread = E->Thread;
+      C.Row = HBI.rowOf(E->Thread, Seg);
+      C.Lockset = E->Lockset;
+      C.IsWrite = E->IsWrite;
+      Classes.push_back(std::move(C));
+    }
+    AccessClass &C = Classes[It->second];
+    C.Pos.push_back(E->Pos);
+    C.Idx.push_back(K);
+    C.Ev.push_back(E);
+  }
+
+  // Minimum-rank racy pair per statement pair of this location.
+  std::unordered_map<uint64_t, PendingRace> Wanted;
+
+  for (size_t I = 0; I < Classes.size(); ++I) {
+    for (size_t J = I + 1; J < Classes.size(); ++J) {
+      AccessClass &A = Classes[I];
+      AccessClass &B = Classes[J];
+      if (A.Thread == B.Thread)
+        continue;
+      if (!A.IsWrite && !B.IsWrite)
+        continue;
+      uint64_t N = uint64_t(A.size()) * B.size();
+      LR.PairsChecked += N;
+      LR.LocksetChecks += N;
+      if (Locksets.intersect(A.Lockset, B.Lockset))
+        continue;
+      // hb(a, b) is false exactly for b before R12; the serial scan
+      // issues its second query hb(b, a) for exactly those pairs.
+      uint32_t R12 = HBI.reach(A.Row, B.Thread);
+      size_t Cut12 = std::lower_bound(B.Pos.begin(), B.Pos.end(), R12) -
+                     B.Pos.begin();
+      LR.HBQueries += N + uint64_t(A.size()) * Cut12;
+      if (Cut12 == 0)
+        continue;
+      uint32_t R21 = HBI.reach(B.Row, A.Thread);
+      size_t Cut21 = std::lower_bound(A.Pos.begin(), A.Pos.end(), R21) -
+                     A.Pos.begin();
+      if (Cut21 == 0)
+        continue;
+      // Racy rectangle: prefix(A, Cut21) x prefix(B, Cut12). For each
+      // statement pair, its minimum-rank racy pair uses the first
+      // occurrence of each statement within the prefixes.
+      for (const auto &[RankA, EA] : A.stmts()) {
+        if (RankA >= Cut21)
+          break;
+        for (const auto &[RankB, EB] : B.stmts()) {
+          if (RankB >= Cut12)
+            break;
+          uint64_t Rank = (uint64_t(A.Idx[RankA]) << 32) | B.Idx[RankB];
+          uint64_t Key = stmtPairKey(EA->S, EB->S);
+          auto [It, New] = Wanted.emplace(
+              Key, PendingRace{Rank, Key, Race{}});
+          if (New || Rank < It->second.Rank) {
+            It->second.Rank = Rank;
+            It->second.Rc = makeRace(Loc, *EA, *EB);
+          }
+        }
+      }
+    }
+  }
+
+  LR.Pending.reserve(Wanted.size());
+  for (auto &[Key, P] : Wanted)
+    LR.Pending.push_back(std::move(P));
+  std::sort(LR.Pending.begin(), LR.Pending.end(),
+            [](const PendingRace &X, const PendingRace &Y) {
+              return X.Rank < Y.Rank;
+            });
+}
+
+/// Worker body: pull locations from the cursor until exhausted. Runs on
+/// the caller and on every pool task; each participant owns a lockset
+/// memo of its own.
+void participate(const std::shared_ptr<EngineState> &S) {
+  LocksetOracle Locksets{*S->SHB, S->Matrix, S->Opts->CacheLocksetChecks, {}};
+  for (;;) {
+    size_t I = S->Next.fetch_add(1, std::memory_order_relaxed);
+    if (I >= S->NumLocations)
+      return;
+    if (!S->CancelFlag.load(std::memory_order_relaxed)) {
+      if (pollCancelled(S->Opts->Cancel))
+        S->CancelFlag.store(true, std::memory_order_relaxed);
+      else
+        processLocation(*S, I, Locksets);
+    }
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    if (--S->Remaining == 0)
+      S->DoneCV.notify_all();
+  }
+}
+
+} // namespace
+
+RaceReport o2::runParallelRaceEngine(const PTAResult &PTA, const SHBGraph &SHB,
+                                     const RaceDetectorOptions &Opts) {
+  RaceReport R;
+  StatisticRegistry &Stats = RaceReportAccess::stats(R);
+  CandidateList Candidates = collectCandidates(PTA, SHB, Opts, Stats);
+  if (Candidates.empty()) {
+    finalizeReport(R, {}, false);
+    return R;
+  }
+
+  // The indexes every shard shares, immutable once built.
+  HBIndex HBI(SHB);
+  if (Opts.HB == RaceHBKind::Index)
+    Stats.set("race.hb-index-segments", HBI.numSegments());
+  std::unique_ptr<LocksetMatrix> Matrix;
+  if (Opts.CacheLocksetChecks && SHB.numLocksets() <= Opts.LocksetMatrixMaxSize)
+    Matrix = std::make_unique<LocksetMatrix>(SHB);
+
+  size_t N = Candidates.size();
+  auto S = std::make_shared<EngineState>();
+  S->Candidates = &Candidates;
+  S->SHB = &SHB;
+  S->HBI = &HBI;
+  S->Matrix = Matrix.get();
+  S->Opts = &Opts;
+  S->Results.resize(N);
+  S->NumLocations = N;
+  S->Remaining = N;
+
+  unsigned HW = std::thread::hardware_concurrency();
+  unsigned P = Opts.Jobs ? Opts.Jobs : (HW ? HW : 1);
+  unsigned Helpers = 0;
+  std::unique_ptr<ThreadPool> Owned;
+  ThreadPool *Pool = nullptr;
+  if (N >= Opts.MinParallelLocations && P > 1) {
+    if (Opts.Pool) {
+      Pool = Opts.Pool;
+      Helpers = std::min(Pool->numThreads(), P - 1);
+    } else {
+      Owned = std::make_unique<ThreadPool>(P - 1);
+      Pool = Owned.get();
+      Helpers = P - 1;
+    }
+    Helpers = std::min<size_t>(Helpers, N - 1);
+  }
+  for (unsigned I = 0; I < Helpers; ++I)
+    Pool->submit([S] { participate(S); });
+
+  // The caller always participates, so progress never depends on pool
+  // capacity (an external pool may be saturated with other modules).
+  participate(S);
+  {
+    std::unique_lock<std::mutex> Lock(S->Mutex);
+    S->DoneCV.wait(Lock, [&] { return S->Remaining == 0; });
+  }
+
+  // Canonical-order fold: identical to the serial scan's global
+  // statement-pair dedup because locations are visited in sorted order
+  // and each location's pending races carry their serial scan rank.
+  uint64_t Pairs = 0, Locksets = 0, HBQueries = 0, Merged = 0;
+  std::unordered_set<uint64_t> Reported;
+  std::vector<Race> Races;
+  for (LocationResult &LR : S->Results) {
+    Pairs += LR.PairsChecked;
+    Locksets += LR.LocksetChecks;
+    HBQueries += LR.HBQueries;
+    Merged += LR.Merged;
+    for (PendingRace &P : LR.Pending)
+      if (Reported.insert(P.Key).second)
+        Races.push_back(P.Rc);
+  }
+  // Counters materialize only once charged, matching the serial engine's
+  // create-on-first-add behaviour.
+  if (Merged)
+    Stats.add("race.merged-accesses", Merged);
+  if (Pairs)
+    Stats.add("race.pairs-checked", Pairs);
+  if (Locksets)
+    Stats.add("race.lockset-checks", Locksets);
+  if (HBQueries)
+    Stats.add("race.hb-queries", HBQueries);
+
+  finalizeReport(R, std::move(Races),
+                 S->CancelFlag.load(std::memory_order_relaxed));
+  return R;
+}

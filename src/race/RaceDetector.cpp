@@ -5,19 +5,118 @@
 // with Origins".
 //
 //===----------------------------------------------------------------------===//
+//
+// The serial race engine and the shared engine internals. The serial
+// engine is the pairwise oracle the parallel engine is validated against;
+// it also owns the MaxPairChecks budget (budget exhaustion is defined by
+// its scan order) and the HB-implementation knob (naive BFS / memoized
+// fixpoint / precomputed index all answer its queries).
+//
+//===----------------------------------------------------------------------===//
 
-#include "o2/Race/RaceDetector.h"
+#include "RaceEngine.h"
 
 #include "o2/IR/Printer.h"
-#include "o2/Support/Casting.h"
+#include "o2/SHB/HBIndex.h"
 #include "o2/Support/JSONWriter.h"
 #include "o2/Support/OutputStream.h"
 
-#include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
+#include <memory>
 
 using namespace o2;
+using namespace o2::race_detail;
+
+CandidateList race_detail::collectCandidates(const PTAResult &PTA,
+                                             const SHBGraph &SHB,
+                                             const RaceDetectorOptions &Opts,
+                                             StatisticRegistry &Stats) {
+  struct LocInfo {
+    BitVector ReadThreads;
+    BitVector WriteThreads;
+    std::vector<const AccessEvent *> Accesses;
+  };
+  std::unordered_map<MemLoc, LocInfo> Infos;
+  for (const ThreadInfo &T : SHB.threads()) {
+    for (const AccessEvent &E : T.Accesses) {
+      for (const MemLoc &Loc : E.Locs) {
+        LocInfo &I = Infos[Loc];
+        if (E.IsWrite)
+          I.WriteThreads.set(E.Thread);
+        else
+          I.ReadThreads.set(E.Thread);
+        I.Accesses.push_back(&E);
+      }
+    }
+  }
+  AtomicLocFilter Atomics(PTA);
+  CandidateList Candidates;
+  std::unordered_set<unsigned> SharedObjects;
+  for (auto &[Loc, I] : Infos) {
+    if (Opts.HandleAtomics && Atomics.isAtomic(Loc))
+      continue;
+    if (I.WriteThreads.none())
+      continue;
+    BitVector All = I.ReadThreads;
+    All.unionWith(I.WriteThreads);
+    if (All.count() < 2)
+      continue;
+    if (!Loc.isGlobal())
+      SharedObjects.insert(Loc.object());
+    Candidates.emplace_back(Loc, std::move(I.Accesses));
+  }
+  // Hashed iteration order is arbitrary: sort once so pair budgeting
+  // (MaxPairChecks), sharding, and report order stay deterministic.
+  std::sort(Candidates.begin(), Candidates.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  Stats.set("race.shared-locations", Candidates.size());
+  Stats.set("race.shared-objects", SharedObjects.size());
+  Stats.set("race.threads", SHB.numThreads());
+  Stats.set("race.access-events", SHB.numAccessEvents());
+  return Candidates;
+}
+
+namespace {
+
+/// Dedup key for lock-region merging: ⟨thread, lock region⟩ and
+/// ⟨lockset, is-write⟩, each packed into one word.
+struct MergedRegionKey {
+  uint64_t ThreadRegion;
+  uint64_t LocksetWrite;
+  bool operator==(const MergedRegionKey &RHS) const {
+    return ThreadRegion == RHS.ThreadRegion && LocksetWrite == RHS.LocksetWrite;
+  }
+};
+struct MergedRegionKeyHash {
+  size_t operator()(const MergedRegionKey &K) const {
+    uint64_t H = K.ThreadRegion * 0x9e3779b97f4a7c15ull;
+    H ^= K.LocksetWrite + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+    return static_cast<size_t>(H);
+  }
+};
+
+} // namespace
+
+std::vector<const AccessEvent *>
+race_detail::mergeByLockRegion(const std::vector<const AccessEvent *> &In,
+                               uint64_t &MergedOut) {
+  std::vector<const AccessEvent *> Out;
+  // (thread, region) and (lockset, is-write) packed into two words; output
+  // keeps the input order, so the hashed dedup stays deterministic.
+  std::unordered_set<MergedRegionKey, MergedRegionKeyHash> Seen;
+  for (const AccessEvent *E : In) {
+    if (E->LockRegion == 0 || E->RegionHasSync) {
+      Out.push_back(E);
+      continue;
+    }
+    MergedRegionKey Key{(uint64_t(E->Thread) << 32) | E->LockRegion,
+                        (uint64_t(E->Lockset) << 1) | E->IsWrite};
+    if (Seen.insert(Key).second)
+      Out.push_back(E);
+    else
+      ++MergedOut;
+  }
+  return Out;
+}
 
 namespace o2 {
 
@@ -28,13 +127,13 @@ public:
       : PTA(PTA), SHB(SHB), Opts(Opts) {}
 
   RaceReport run() {
-    collectCandidates();
+    Candidates = collectCandidates(PTA, SHB, Opts, R.Stats);
+    if (!Candidates.empty() && Opts.HB == RaceHBKind::Index) {
+      HBI = std::make_unique<HBIndex>(SHB);
+      R.Stats.set("race.hb-index-segments", HBI->numSegments());
+    }
     for (auto &[Loc, Accesses] : Candidates) {
-      if (PairsChecked >= Opts.MaxPairChecks) {
-        R.Stats.set("race.budget-hit", 1);
-        break;
-      }
-      if (R.Cancelled)
+      if (BudgetExhausted || R.Cancelled)
         break;
       checkLocation(Loc, Accesses);
     }
@@ -43,117 +142,6 @@ public:
   }
 
 private:
-  /// A (possibly region-merged) access considered for race pairing.
-  struct CandidateAccess {
-    const AccessEvent *E;
-  };
-
-  /// Shared-location filter over the traces: a location is a candidate if
-  /// at least two threads access it and at least one writes.
-  void collectCandidates() {
-    struct LocInfo {
-      BitVector ReadThreads;
-      BitVector WriteThreads;
-      std::vector<const AccessEvent *> Accesses;
-    };
-    std::unordered_map<MemLoc, LocInfo> Infos;
-    for (const ThreadInfo &T : SHB.threads()) {
-      for (const AccessEvent &E : T.Accesses) {
-        for (const MemLoc &Loc : E.Locs) {
-          LocInfo &I = Infos[Loc];
-          if (E.IsWrite)
-            I.WriteThreads.set(E.Thread);
-          else
-            I.ReadThreads.set(E.Thread);
-          I.Accesses.push_back(&E);
-        }
-      }
-    }
-    std::unordered_set<unsigned> SharedObjects;
-    for (auto &[Loc, I] : Infos) {
-      if (Opts.HandleAtomics && isAtomicLoc(Loc))
-        continue;
-      if (I.WriteThreads.none())
-        continue;
-      BitVector All = I.ReadThreads;
-      All.unionWith(I.WriteThreads);
-      if (All.count() < 2)
-        continue;
-      if (!Loc.isGlobal())
-        SharedObjects.insert(Loc.object());
-      Candidates.emplace_back(Loc, std::move(I.Accesses));
-    }
-    // Hashed iteration order is arbitrary: sort once so pair budgeting
-    // (MaxPairChecks) and report order stay deterministic.
-    std::sort(Candidates.begin(), Candidates.end(),
-              [](const auto &A, const auto &B) { return A.first < B.first; });
-    R.Stats.set("race.shared-locations", Candidates.size());
-    R.Stats.set("race.shared-objects", SharedObjects.size());
-    R.Stats.set("race.threads", SHB.numThreads());
-    R.Stats.set("race.access-events", SHB.numAccessEvents());
-  }
-
-  /// True if \p Loc is an `atomic` field or global: a synchronization
-  /// location, not data.
-  bool isAtomicLoc(MemLoc Loc) const {
-    if (Loc.isGlobal())
-      return PTA.module().globals()[Loc.globalId()]->isAtomic();
-    FieldKey FK = Loc.fieldKey();
-    if (FK == ArrayElemKey)
-      return false;
-    const ObjInfo &O = PTA.object(Loc.object());
-    if (const auto *Cls = dyn_cast<ClassType>(O.AllocatedType))
-      for (const ClassType *C = Cls; C; C = C->getSuper())
-        for (const auto &F : C->fields())
-          if (fieldKeyOf(F.get()) == FK)
-            return F->isAtomic();
-    return false;
-  }
-
-  /// Dedup key for lock-region merging: ⟨thread, lock region⟩ and
-  /// ⟨lockset, is-write⟩, each packed into one word.
-  struct MergedRegionKey {
-    uint64_t ThreadRegion;
-    uint64_t LocksetWrite;
-    bool operator==(const MergedRegionKey &RHS) const {
-      return ThreadRegion == RHS.ThreadRegion &&
-             LocksetWrite == RHS.LocksetWrite;
-    }
-  };
-  struct MergedRegionKeyHash {
-    size_t operator()(const MergedRegionKey &K) const {
-      uint64_t H = K.ThreadRegion * 0x9e3779b97f4a7c15ull;
-      H ^= K.LocksetWrite + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
-      return static_cast<size_t>(H);
-    }
-  };
-
-  /// Optimization 3: within one thread, all accesses to \p Loc inside the
-  /// same sync-free lock region with the same lockset have identical
-  /// happens-before and lockset behaviour — keep one representative.
-  std::vector<const AccessEvent *>
-  mergeByLockRegion(MemLoc Loc, const std::vector<const AccessEvent *> &In) {
-    (void)Loc;
-    std::vector<const AccessEvent *> Out;
-    // (thread, region) and (lockset, is-write) packed into two words;
-    // output keeps the input order, so the hashed dedup stays
-    // deterministic.
-    std::unordered_set<MergedRegionKey, MergedRegionKeyHash> Seen;
-    for (const AccessEvent *E : In) {
-      if (E->LockRegion == 0 || E->RegionHasSync) {
-        Out.push_back(E);
-        continue;
-      }
-      MergedRegionKey Key{(uint64_t(E->Thread) << 32) | E->LockRegion,
-                          (uint64_t(E->Lockset) << 1) | E->IsWrite};
-      if (Seen.insert(Key).second)
-        Out.push_back(E);
-      else
-        R.Stats.add("race.merged-accesses");
-    }
-    return Out;
-  }
-
   bool locksetsIntersect(LocksetId A, LocksetId B) {
     R.Stats.add("race.lockset-checks");
     return Opts.CacheLocksetChecks ? SHB.locksetsIntersect(A, B)
@@ -162,16 +150,25 @@ private:
 
   bool happensBefore(const AccessEvent &A, const AccessEvent &B) {
     R.Stats.add("race.hb-queries");
-    return Opts.IntegerHB
-               ? SHB.happensBefore(A.Thread, A.Pos, B.Thread, B.Pos)
-               : SHB.happensBeforeNaive(A.Thread, A.Pos, B.Thread, B.Pos);
+    switch (Opts.HB) {
+    case RaceHBKind::Naive:
+      return SHB.happensBeforeNaive(A.Thread, A.Pos, B.Thread, B.Pos);
+    case RaceHBKind::Memo:
+      return SHB.happensBefore(A.Thread, A.Pos, B.Thread, B.Pos);
+    case RaceHBKind::Index:
+      return HBI->happensBefore(A.Thread, A.Pos, B.Thread, B.Pos);
+    }
+    return false;
   }
 
   void checkLocation(MemLoc Loc,
                      const std::vector<const AccessEvent *> &AllAccesses) {
+    uint64_t Merged = 0;
     std::vector<const AccessEvent *> Accesses =
-        Opts.LockRegionMerging ? mergeByLockRegion(Loc, AllAccesses)
+        Opts.LockRegionMerging ? mergeByLockRegion(AllAccesses, Merged)
                                : AllAccesses;
+    if (Merged)
+      R.Stats.add("race.merged-accesses", Merged);
     for (size_t I = 0; I < Accesses.size(); ++I) {
       for (size_t J = I + 1; J < Accesses.size(); ++J) {
         if (pollCancelled(Opts.Cancel)) {
@@ -184,8 +181,15 @@ private:
           continue;
         if (!A.IsWrite && !B.IsWrite)
           continue;
-        if (++PairsChecked > Opts.MaxPairChecks)
+        // The budget is charged per conflicting pair actually examined;
+        // the pair that would exceed it is not examined and trips the
+        // budget flag instead, wherever in the scan it falls.
+        if (PairsChecked >= Opts.MaxPairChecks) {
+          R.Stats.set("race.budget-hit", 1);
+          BudgetExhausted = true;
           return;
+        }
+        ++PairsChecked;
         R.Stats.add("race.pairs-checked");
         if (locksetsIntersect(A.Lockset, B.Lockset))
           continue;
@@ -197,46 +201,29 @@ private:
   }
 
   void recordRace(MemLoc Loc, const AccessEvent &A, const AccessEvent &B) {
-    const Stmt *SA = A.S, *SB = B.S;
-    const AccessEvent *EA = &A, *EB = &B;
-    if (SA->getId() > SB->getId()) {
-      std::swap(SA, SB);
-      std::swap(EA, EB);
-    }
-    if (!ReportedPairs.insert((uint64_t(SA->getId()) << 32) | SB->getId())
-             .second)
+    if (!ReportedPairs.insert(stmtPairKey(A.S, B.S)).second)
       return;
-    Race Rc;
-    Rc.Loc = Loc;
-    Rc.A = SA;
-    Rc.B = SB;
-    Rc.ThreadA = EA->Thread;
-    Rc.ThreadB = EB->Thread;
-    Rc.AIsWrite = EA->IsWrite;
-    Rc.BIsWrite = EB->IsWrite;
-    R.Races.push_back(Rc);
+    R.Races.push_back(makeRace(Loc, A, B));
   }
 
   void finalize() {
-    std::sort(R.Races.begin(), R.Races.end(),
-              [](const Race &X, const Race &Y) {
-                if (X.A->getId() != Y.A->getId())
-                  return X.A->getId() < Y.A->getId();
-                return X.B->getId() < Y.B->getId();
-              });
-    R.Stats.set("race.races", R.Races.size());
-    if (R.Cancelled)
-      R.Stats.set("race.cancelled", 1);
+    // Detach first: finalizeReport assigns into R.Races, and handing it
+    // R.Races itself would be a self-move.
+    std::vector<Race> Races = std::move(R.Races);
+    R.Races.clear();
+    finalizeReport(R, std::move(Races), R.Cancelled);
   }
 
   const PTAResult &PTA;
   const SHBGraph &SHB;
   RaceDetectorOptions Opts;
   RaceReport R;
-  std::vector<std::pair<MemLoc, std::vector<const AccessEvent *>>> Candidates;
+  std::unique_ptr<HBIndex> HBI;
+  CandidateList Candidates;
   /// Reported (stmt A, stmt B) pairs, A < B, packed into one word.
   std::unordered_set<uint64_t> ReportedPairs;
   uint64_t PairsChecked = 0;
+  bool BudgetExhausted = false;
 };
 
 } // namespace o2
@@ -292,11 +279,16 @@ void RaceReport::printJSON(OutputStream &OS, const PTAResult &PTA) const {
 
 RaceReport o2::detectRaces(const PTAResult &PTA, const SHBGraph &SHB,
                            const RaceDetectorOptions &Opts) {
+  // A finite pair budget is defined by the serial scan order, so it
+  // forces the serial engine regardless of the engine knob.
+  if (Opts.Engine == RaceEngineKind::Parallel &&
+      Opts.MaxPairChecks == ~uint64_t(0))
+    return runParallelRaceEngine(PTA, SHB, Opts);
   return RaceDetector(PTA, SHB, Opts).run();
 }
 
 RaceReport o2::detectRaces(const PTAResult &PTA,
                            const RaceDetectorOptions &Opts) {
   SHBGraph SHB = buildSHBGraph(PTA, Opts.SHB);
-  return RaceDetector(PTA, SHB, Opts).run();
+  return detectRaces(PTA, SHB, Opts);
 }

@@ -1,0 +1,160 @@
+//===- RaceEngine.h - Shared race-engine internals --------------*- C++ -*-===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internals shared by the serial and parallel race engines: the
+/// shared-location candidate scan, the memoized atomic-location filter,
+/// lock-region merging, and race-payload construction. Keeping these in
+/// one place is what makes the engines' byte-identical-report contract
+/// checkable: the engines may only differ in how they *pair* accesses,
+/// never in which accesses they consider or how a race is materialized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef O2_SRC_RACE_RACEENGINE_H
+#define O2_SRC_RACE_RACEENGINE_H
+
+#include "o2/Race/RaceDetector.h"
+
+#include "o2/Support/BitVector.h"
+#include "o2/Support/Casting.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace o2 {
+namespace race_detail {
+
+/// Sorted candidate list: each shared location with all accesses to it,
+/// in (thread, position) order — threads ascend, positions strictly
+/// ascend per thread (trace order). Both engines rely on this order.
+using CandidateList =
+    std::vector<std::pair<MemLoc, std::vector<const AccessEvent *>>>;
+
+/// Classifies locations as `atomic` synchronization (excluded from race
+/// candidates) with the class-hierarchy field walk memoized per
+/// (class type, field key), so the supers chain is walked once per
+/// distinct field instead of once per aliasing location.
+class AtomicLocFilter {
+public:
+  explicit AtomicLocFilter(const PTAResult &PTA) : PTA(PTA) {}
+
+  bool isAtomic(MemLoc Loc) {
+    if (Loc.isGlobal())
+      return PTA.module().globals()[Loc.globalId()]->isAtomic();
+    FieldKey FK = Loc.fieldKey();
+    if (FK == ArrayElemKey)
+      return false;
+    const ObjInfo &O = PTA.object(Loc.object());
+    const auto *Cls = dyn_cast<ClassType>(O.AllocatedType);
+    if (!Cls)
+      return false;
+    uint64_t Key = (uint64_t(reinterpret_cast<uintptr_t>(Cls)) << 12) ^ FK;
+    auto It = Cache.find(Key);
+    if (It != Cache.end())
+      return It->second;
+    bool Atomic = false, Found = false;
+    for (const ClassType *C = Cls; C && !Found; C = C->getSuper())
+      for (const auto &F : C->fields())
+        if (fieldKeyOf(F.get()) == FK) {
+          Atomic = F->isAtomic();
+          Found = true;
+          break;
+        }
+    Cache.emplace(Key, Atomic);
+    return Atomic;
+  }
+
+private:
+  const PTAResult &PTA;
+  /// (class pointer, field key) -> is-atomic. Pointer identity is stable
+  /// for the module's lifetime; the shift leaves the low bits to the
+  /// field key (class objects are heap-allocated, so the low pointer
+  /// bits carry little entropy anyway).
+  std::unordered_map<uint64_t, bool> Cache;
+};
+
+/// Shared-location filter over the traces: a location is a candidate if
+/// at least two threads access it and at least one writes (and it is not
+/// an atomic, when those are handled). Returns the sorted candidate list
+/// and records the corpus-shape statistics both engines report.
+CandidateList collectCandidates(const PTAResult &PTA, const SHBGraph &SHB,
+                                const RaceDetectorOptions &Opts,
+                                StatisticRegistry &Stats);
+
+/// Optimization 3: within one thread, all accesses to one location inside
+/// the same sync-free lock region with the same lockset have identical
+/// happens-before and lockset behaviour — keep one representative.
+/// Preserves input order; \p MergedOut is incremented once per dropped
+/// access (the "race.merged-accesses" statistic).
+std::vector<const AccessEvent *>
+mergeByLockRegion(const std::vector<const AccessEvent *> &In,
+                  uint64_t &MergedOut);
+
+/// Dedup key of an unordered statement pair: ids packed low/high.
+inline uint64_t stmtPairKey(const Stmt *SA, const Stmt *SB) {
+  uint32_t A = SA->getId(), B = SB->getId();
+  if (A > B)
+    std::swap(A, B);
+  return (uint64_t(A) << 32) | B;
+}
+
+/// Builds the race payload for a conflicting access pair exactly the way
+/// the serial engine reports it: participants ordered by statement id.
+inline Race makeRace(MemLoc Loc, const AccessEvent &A, const AccessEvent &B) {
+  const AccessEvent *EA = &A, *EB = &B;
+  if (EA->S->getId() > EB->S->getId())
+    std::swap(EA, EB);
+  Race Rc;
+  Rc.Loc = Loc;
+  Rc.A = EA->S;
+  Rc.B = EB->S;
+  Rc.ThreadA = EA->Thread;
+  Rc.ThreadB = EB->Thread;
+  Rc.AIsWrite = EA->IsWrite;
+  Rc.BIsWrite = EB->IsWrite;
+  return Rc;
+}
+
+/// Named access to RaceReport's private fields for the engine internals
+/// (friend of RaceReport).
+struct RaceReportAccess {
+  static std::vector<Race> &races(RaceReport &R) { return R.Races; }
+  static StatisticRegistry &stats(RaceReport &R) { return R.Stats; }
+  static void setCancelled(RaceReport &R, bool C) { R.Cancelled = C; }
+};
+
+/// Final report ordering + summary counters, shared by both engines.
+inline void finalizeReport(RaceReport &R, std::vector<Race> &&Races,
+                           bool Cancelled) {
+  std::sort(Races.begin(), Races.end(), [](const Race &X, const Race &Y) {
+    if (X.A->getId() != Y.A->getId())
+      return X.A->getId() < Y.A->getId();
+    return X.B->getId() < Y.B->getId();
+  });
+  RaceReportAccess::races(R) = std::move(Races);
+  RaceReportAccess::setCancelled(R, Cancelled);
+  RaceReportAccess::stats(R).set("race.races",
+                                 RaceReportAccess::races(R).size());
+  if (Cancelled)
+    RaceReportAccess::stats(R).set("race.cancelled", 1);
+}
+
+} // namespace race_detail
+
+/// The sharded, class-based engine (ParallelRaceEngine.cpp). Requires an
+/// unbounded pair budget; the dispatcher in RaceDetector.cpp guarantees
+/// it.
+RaceReport runParallelRaceEngine(const PTAResult &PTA, const SHBGraph &SHB,
+                                 const RaceDetectorOptions &Opts);
+
+} // namespace o2
+
+#endif // O2_SRC_RACE_RACEENGINE_H

@@ -1,0 +1,230 @@
+//===- ParallelRaceEngineTest.cpp - serial/parallel engine equivalence ---------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+//
+// The parallel race engine's determinism contract: byte-identical reports
+// and equal statistics (modulo `race.*-cache-*` diagnostics) with the
+// serial engine, on every bundled example and generated workload, at any
+// worker count — including forced sharding of tiny candidate lists, an
+// external shared pool, and the serial fallback for finite pair budgets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "o2/Race/RaceDetector.h"
+
+#include "o2/IR/Parser.h"
+#include "o2/IR/Verifier.h"
+#include "o2/Support/OutputStream.h"
+#include "o2/Support/ThreadPool.h"
+#include "o2/Workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace o2;
+
+namespace {
+
+std::unique_ptr<Module> parseProgram(const std::string &Src) {
+  std::string Err;
+  auto M = parseModule(Src, Err);
+  EXPECT_TRUE(M) << "parse error: " << Err;
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(*M, Errors))
+      << (Errors.empty() ? "?" : Errors.front());
+  return M;
+}
+
+std::unique_ptr<Module> loadCase(const std::string &Name) {
+  if (Name.rfind("oir_", 0) == 0) {
+    std::ifstream In(std::string(O2_OIR_DIR) + "/" + Name.substr(4) + ".oir");
+    EXPECT_TRUE(In.good()) << "cannot open " << Name;
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    return parseProgram(Buf.str());
+  }
+  const WorkloadProfile *P = findProfile(Name);
+  EXPECT_NE(P, nullptr) << Name;
+  return generateWorkload(*P);
+}
+
+std::unique_ptr<PTAResult> runOPA(const Module &M) {
+  PTAOptions Opts;
+  Opts.Kind = ContextKind::Origin;
+  return runPointerAnalysis(M, Opts);
+}
+
+std::string render(const RaceReport &R, const PTAResult &PTA) {
+  std::string Buf;
+  StringOutputStream OS(Buf);
+  R.print(OS, PTA);
+  R.printJSON(OS, PTA);
+  return Buf;
+}
+
+/// Stats with the explicitly schedule-dependent diagnostics removed (the
+/// equivalence contract allows engines to differ in `race.*-cache-*`
+/// occupancy counters only).
+std::map<std::string, uint64_t> comparableStats(const RaceReport &R) {
+  std::map<std::string, uint64_t> Out;
+  for (const auto &[Name, Value] : R.stats().counters())
+    if (Name.find("-cache-") == std::string::npos)
+      Out[Name] = Value;
+  return Out;
+}
+
+class ParallelRaceEngine : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ParallelRaceEngine, ByteIdenticalToSerial) {
+  auto M = loadCase(GetParam());
+  ASSERT_TRUE(M);
+  auto PTA = runOPA(*M);
+  SHBGraph SHB = buildSHBGraph(*PTA);
+
+  RaceDetectorOptions SerialOpts;
+  SerialOpts.Engine = RaceEngineKind::Serial;
+  RaceReport Serial = detectRaces(*PTA, SHB, SerialOpts);
+  std::string SerialText = render(Serial, *PTA);
+  auto SerialStats = comparableStats(Serial);
+
+  for (unsigned Jobs : {1u, 2u, 8u}) {
+    for (unsigned MinPar : {0u, 1u}) {
+      RaceDetectorOptions Par;
+      Par.Engine = RaceEngineKind::Parallel;
+      Par.Jobs = Jobs;
+      // MinPar == 1 forces real sharding even on tiny candidate lists;
+      // MinPar == 0 keeps the production inline-below-threshold default.
+      if (MinPar)
+        Par.MinParallelLocations = MinPar;
+      RaceReport R = detectRaces(*PTA, SHB, Par);
+      std::string Tag = GetParam() + "/jobs=" + std::to_string(Jobs) +
+                        "/minpar=" + std::to_string(MinPar);
+      EXPECT_EQ(render(R, *PTA), SerialText) << Tag;
+      EXPECT_EQ(comparableStats(R), SerialStats) << Tag;
+    }
+  }
+}
+
+TEST_P(ParallelRaceEngine, SharedExternalPool) {
+  auto M = loadCase(GetParam());
+  ASSERT_TRUE(M);
+  auto PTA = runOPA(*M);
+  SHBGraph SHB = buildSHBGraph(*PTA);
+
+  RaceDetectorOptions SerialOpts;
+  SerialOpts.Engine = RaceEngineKind::Serial;
+  RaceReport Serial = detectRaces(*PTA, SHB, SerialOpts);
+
+  ThreadPool Pool(4);
+  RaceDetectorOptions Par;
+  Par.Engine = RaceEngineKind::Parallel;
+  Par.Pool = &Pool;
+  Par.MinParallelLocations = 1;
+  // Two runs on one borrowed pool: late tasks of the first run must not
+  // disturb the second.
+  RaceReport R1 = detectRaces(*PTA, SHB, Par);
+  RaceReport R2 = detectRaces(*PTA, SHB, Par);
+  EXPECT_EQ(render(R1, *PTA), render(Serial, *PTA)) << GetParam();
+  EXPECT_EQ(render(R2, *PTA), render(Serial, *PTA)) << GetParam();
+  EXPECT_EQ(comparableStats(R1), comparableStats(Serial)) << GetParam();
+}
+
+TEST_P(ParallelRaceEngine, SmallLocksetMatrixLimitStaysIdentical) {
+  auto M = loadCase(GetParam());
+  ASSERT_TRUE(M);
+  auto PTA = runOPA(*M);
+  SHBGraph SHB = buildSHBGraph(*PTA);
+
+  RaceDetectorOptions SerialOpts;
+  SerialOpts.Engine = RaceEngineKind::Serial;
+  RaceReport Serial = detectRaces(*PTA, SHB, SerialOpts);
+
+  // Forbid the precomputed matrix so the shard-local cache path runs.
+  RaceDetectorOptions Par;
+  Par.Engine = RaceEngineKind::Parallel;
+  Par.MinParallelLocations = 1;
+  Par.LocksetMatrixMaxSize = 0;
+  Par.Jobs = 4;
+  RaceReport R = detectRaces(*PTA, SHB, Par);
+  EXPECT_EQ(render(R, *PTA), render(Serial, *PTA)) << GetParam();
+  EXPECT_EQ(comparableStats(R), comparableStats(Serial)) << GetParam();
+}
+
+std::vector<std::string> engineCases() {
+  std::vector<std::string> Cases = {
+      "oir_racy_counter",   "oir_producer_consumer", "oir_event_thread_mix",
+      "oir_fork_join",      "oir_locked_account",    "oir_lockfree_flag",
+      "oir_nested_handlers"};
+  for (const WorkloadProfile &P : benchmarkProfiles()) {
+    if (P.PaddingFunctions > 100 || P.AmplifierFanOut > 12)
+      continue; // large profiles; shape covered by the smaller ones
+    Cases.push_back(P.Name);
+  }
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ParallelRaceEngine,
+                         ::testing::ValuesIn(engineCases()),
+                         [](const auto &Info) { return Info.param; });
+
+TEST(ParallelRaceEngineFallback, FiniteBudgetMatchesSerialExactly) {
+  auto M = loadCase("oir_racy_counter");
+  ASSERT_TRUE(M);
+  auto PTA = runOPA(*M);
+  SHBGraph SHB = buildSHBGraph(*PTA);
+
+  for (uint64_t Budget : {0ull, 1ull, 3ull, 1000ull}) {
+    RaceDetectorOptions SerialOpts;
+    SerialOpts.Engine = RaceEngineKind::Serial;
+    SerialOpts.MaxPairChecks = Budget;
+    RaceReport Serial = detectRaces(*PTA, SHB, SerialOpts);
+
+    RaceDetectorOptions Par = SerialOpts;
+    Par.Engine = RaceEngineKind::Parallel;
+    RaceReport R = detectRaces(*PTA, SHB, Par);
+    EXPECT_EQ(render(R, *PTA), render(Serial, *PTA)) << "budget " << Budget;
+    EXPECT_EQ(comparableStats(R), comparableStats(Serial))
+        << "budget " << Budget;
+  }
+}
+
+TEST(SerialHBModes, IndexMatchesMemoAndNaiveQueries) {
+  // The acceptance oracle for the O(1) HB index: on every corpus module
+  // the serial engine issues the same number of HB queries and reports
+  // the same races whether queries go through the naive BFS, the
+  // memoized fixpoint, or the precomputed index.
+  for (const std::string &Name : engineCases()) {
+    auto M = loadCase(Name);
+    ASSERT_TRUE(M);
+    auto PTA = runOPA(*M);
+    SHBGraph SHB = buildSHBGraph(*PTA);
+
+    std::string Rendered[3];
+    uint64_t Queries[3];
+    int I = 0;
+    for (RaceHBKind HB :
+         {RaceHBKind::Naive, RaceHBKind::Memo, RaceHBKind::Index}) {
+      RaceDetectorOptions Opts;
+      Opts.Engine = RaceEngineKind::Serial;
+      Opts.HB = HB;
+      RaceReport R = detectRaces(*PTA, SHB, Opts);
+      Rendered[I] = render(R, *PTA);
+      Queries[I] = R.stats().get("race.hb-queries");
+      ++I;
+    }
+    // Reports are byte-identical except for the index-only
+    // "race.hb-index-segments" statistic line.
+    EXPECT_EQ(Rendered[0], Rendered[1]) << Name;
+    EXPECT_EQ(Queries[0], Queries[1]) << Name;
+    EXPECT_EQ(Queries[0], Queries[2]) << Name;
+  }
+}
+
+} // namespace

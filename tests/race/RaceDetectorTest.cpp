@@ -432,7 +432,8 @@ TEST(RaceDetectorTest, LockRegionMergingPreservesRaces) {
   RaceReport ROpt = detectRaces(*PTA, Optimized);
 
   RaceDetectorOptions Naive;
-  Naive.IntegerHB = false;
+  Naive.Engine = RaceEngineKind::Serial;
+  Naive.HB = RaceHBKind::Naive;
   Naive.CacheLocksetChecks = false;
   Naive.LockRegionMerging = false;
   RaceReport RNaive = detectRaces(*PTA, Naive);
@@ -483,6 +484,51 @@ TEST(RaceDetectorTest, ReportPrinting) {
   R.print(OS, *PTA);
   EXPECT_NE(Buf.find("race on @g"), std::string::npos);
   EXPECT_NE(Buf.find("write"), std::string::npos);
+}
+
+TEST(RaceDetectorTest, BudgetExhaustionAlwaysSetsBudgetHit) {
+  // Three threads hammering one location: several conflicting pairs, all
+  // at the *last* (only) candidate with pairs — the case where the old
+  // detector returned from checkLocation without ever setting
+  // "race.budget-hit" because only the next loop iteration checked it.
+  auto M = parseProgram(R"(
+    class Obj { field v: int; }
+    class T {
+      field s: Obj;
+      method init(s: Obj) { this.s = s; }
+      method run() { var o: Obj; var x: int; o = this.s; o.v = x; }
+    }
+    func main() {
+      var s: Obj;
+      var t1: T;
+      var t2: T;
+      var t3: T;
+      s = new Obj;
+      t1 = new T(s);
+      t2 = new T(s);
+      t3 = new T(s);
+      spawn t1.run();
+      spawn t2.run();
+      spawn t3.run();
+    }
+  )");
+  uint64_t Total =
+      detect(*M).stats().get("race.pairs-checked");
+  ASSERT_GE(Total, 2u);
+
+  // One pair short: the tripping pair is denied, not half-counted.
+  RaceDetectorOptions Opts;
+  Opts.MaxPairChecks = Total - 1;
+  RaceReport Hit = detect(*M, ContextKind::Origin, Opts);
+  EXPECT_EQ(Hit.stats().get("race.budget-hit"), 1u);
+  EXPECT_EQ(Hit.stats().get("race.pairs-checked"), Total - 1);
+
+  // An exactly-sufficient budget completes without tripping.
+  Opts.MaxPairChecks = Total;
+  RaceReport Fits = detect(*M, ContextKind::Origin, Opts);
+  EXPECT_EQ(Fits.stats().get("race.budget-hit"), 0u);
+  EXPECT_EQ(Fits.stats().get("race.pairs-checked"), Total);
+  EXPECT_EQ(Fits.numRaces(), detect(*M).numRaces());
 }
 
 } // namespace

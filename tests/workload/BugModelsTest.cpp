@@ -57,7 +57,8 @@ TEST_P(BugModelTest, SoundnessOracleAgrees) {
   O2Analysis A = analyzeModule(*M, Optimized);
 
   O2Config Naive;
-  Naive.Detector.IntegerHB = false;
+  Naive.Detector.Engine = RaceEngineKind::Serial;
+  Naive.Detector.HB = RaceHBKind::Naive;
   Naive.Detector.CacheLocksetChecks = false;
   Naive.Detector.LockRegionMerging = false;
   O2Analysis B = analyzeModule(*M, Naive);

@@ -69,7 +69,8 @@ TEST_P(PrecisionProperty, OptimizationsPreserveRacyLocations) {
   O2Analysis A = analyzeModule(*M, Optimized);
 
   O2Config Naive;
-  Naive.Detector.IntegerHB = false;
+  Naive.Detector.Engine = RaceEngineKind::Serial;
+  Naive.Detector.HB = RaceHBKind::Naive;
   Naive.Detector.CacheLocksetChecks = false;
   Naive.Detector.LockRegionMerging = false;
   O2Analysis B = analyzeModule(*M, Naive);
@@ -85,7 +86,8 @@ TEST_P(PrecisionProperty, OptimizationsPreserveRacyLocations) {
 TEST_P(PrecisionProperty, EachOptimizationAloneIsSound) {
   auto M = generateWorkload(smallProfile(GetParam()));
   O2Config Base;
-  Base.Detector.IntegerHB = false;
+  Base.Detector.Engine = RaceEngineKind::Serial;
+  Base.Detector.HB = RaceHBKind::Naive;
   Base.Detector.CacheLocksetChecks = false;
   Base.Detector.LockRegionMerging = false;
   std::set<uint64_t> Expected = raceLocs(analyzeModule(*M, Base).Races);
@@ -93,7 +95,7 @@ TEST_P(PrecisionProperty, EachOptimizationAloneIsSound) {
   for (unsigned Opt = 0; Opt < 3; ++Opt) {
     O2Config C = Base;
     if (Opt == 0)
-      C.Detector.IntegerHB = true;
+      C.Detector.HB = RaceHBKind::Memo;
     if (Opt == 1)
       C.Detector.CacheLocksetChecks = true;
     if (Opt == 2)
