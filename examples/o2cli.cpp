@@ -15,11 +15,18 @@
 //                                   (see o2batch --help, docs/DRIVER.md)
 //
 // Exit codes: 0 clean, 1 races found, 2 parse/verify/internal error.
+// Only the race analysis affects the exit code; aux findings (deadlocks,
+// over-sync regions, RacerD warnings) are informational.
 //
 // Options:
 //   --ctx=<0-ctx|cfa|obj|origin>    context abstraction (default origin)
 //   --k=<n>                         context depth (default 1)
 //   --solver=<wave|worklist>        PTA constraint engine (default wave)
+//   --analyses=<list>               comma-separated analyses to run
+//                                   (race, deadlock, oversync, racerd,
+//                                   escape, osa, or "all"; default
+//                                   osa,race). Shared passes (PTA, SHB)
+//                                   are scheduled once and reused.
 //   --stats                         print per-phase timings and analysis
 //                                   statistics as one JSON object line
 //   --no-serialize-events           disable the Section 4.2 treatment
@@ -31,9 +38,9 @@
 //                                   (default: hardware concurrency)
 //   --naive                         disable all detector optimizations
 //                                   (serial engine, naive HB, no caches)
-//   --racerd                        also run the syntactic baseline
-//   --deadlocks                     also run the lock-order deadlock analysis
-//   --oversync                      also report over-synchronized regions
+//   --racerd                        shorthand: add racerd to --analyses
+//   --deadlocks                     shorthand: add deadlock to --analyses
+//   --oversync                      shorthand: add oversync to --analyses
 //   --json                          print the race report as JSON
 //   --dot-callgraph                 dump the call graph in Graphviz format
 //   --dot-shb                       dump the SHB thread graph in Graphviz
@@ -47,9 +54,6 @@
 #include "o2/IR/Verifier.h"
 #include "o2/O2.h"
 #include "o2/PTA/CallGraph.h"
-#include "o2/Race/DeadlockDetector.h"
-#include "o2/Race/OverSync.h"
-#include "o2/Race/RacerDLike.h"
 #include "o2/Support/OutputStream.h"
 #include "o2/Workload/BugModels.h"
 
@@ -67,13 +71,16 @@ struct CliOptions {
   bool ListBugModels = false;
   bool PrintModule = false;
   bool Naive = false;
-  bool RacerD = false;
-  bool Deadlocks = false;
-  bool OverSync = false;
   bool JSON = false;
   bool Stats = false;
   bool DotCallGraph = false;
   bool DotSHB = false;
+  /// The --analyses= request; defaultSet() unless the flag was given.
+  AnalysisSet Analyses = AnalysisSet::defaultSet();
+  /// Passes added by the --racerd/--deadlocks/--oversync shorthands;
+  /// merged into Analyses after parsing so the flags compose with
+  /// --analyses= regardless of argument order.
+  AnalysisSet Extra;
   O2Config Config;
 };
 
@@ -113,6 +120,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
         errs() << "error: unknown solver '" << Solver << "'\n";
         return false;
       }
+    } else if (Arg.rfind("--analyses=", 0) == 0) {
+      std::string Err;
+      AnalysisSet Parsed;
+      if (!parseAnalysisSet(Value("--analyses="), Parsed, Err)) {
+        errs() << "error: " << Err << '\n';
+        return false;
+      }
+      Cli.Analyses = Parsed;
     } else if (Arg == "--stats") {
       Cli.Stats = true;
     } else if (Arg == "--no-serialize-events") {
@@ -145,11 +160,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
     } else if (Arg == "--naive") {
       Cli.Naive = true;
     } else if (Arg == "--racerd") {
-      Cli.RacerD = true;
+      Cli.Extra.insert(O2Phase::RacerD);
     } else if (Arg == "--deadlocks") {
-      Cli.Deadlocks = true;
+      Cli.Extra.insert(O2Phase::Deadlock);
     } else if (Arg == "--oversync") {
-      Cli.OverSync = true;
+      Cli.Extra.insert(O2Phase::OverSync);
     } else if (Arg == "--json") {
       Cli.JSON = true;
     } else if (Arg == "--dot-callgraph") {
@@ -181,6 +196,44 @@ std::string readFile(const std::string &Path, bool &Ok) {
   std::fclose(File);
   Ok = true;
   return Content;
+}
+
+/// The classic human-readable pipeline summary, fed from the manager's
+/// shared results. Lines for passes that were not requested print their
+/// zero shape (matching the pre-manager facade, which defaulted skipped
+/// results).
+void printSummary(AnalysisManager &AM, OutputStream &OS) {
+  const PTAResult &PTA = AM.getPTA();
+  OS << "O2 analysis of '" << PTA.module().getName() << "' ("
+     << PTA.options().name() << ")\n";
+  OS << "  pointer analysis: " << PTA.stats().get("pta.pointer-nodes")
+     << " nodes, " << PTA.stats().get("pta.objects") << " objects, "
+     << PTA.stats().get("pta.copy-edges") << " edges, "
+     << PTA.stats().get("pta.origins") << " origins ("
+     << AM.seconds(O2Phase::PTA) << "s)\n";
+  if (AM.ran(O2Phase::OSA)) {
+    const SharingResult &Sharing = AM.getSharing();
+    OS << "  sharing: " << Sharing.sharedLocations().size()
+       << " shared locations over " << Sharing.numSharedObjects()
+       << " objects, " << Sharing.numSharedAccessStmts() << "/"
+       << Sharing.numAccessStmts() << " shared accesses ("
+       << AM.seconds(O2Phase::OSA) << "s)\n";
+  } else {
+    OS << "  sharing: 0 shared locations over 0 objects, 0/0 shared "
+          "accesses (0s)\n";
+  }
+  if (AM.ran(O2Phase::SHB)) {
+    const SHBGraph &SHB = AM.getSHB();
+    OS << "  SHB: " << SHB.numThreads() << " threads, "
+       << SHB.numAccessEvents() << " access events ("
+       << AM.seconds(O2Phase::SHB) << "s)\n";
+  } else {
+    OS << "  SHB: 0 threads, 0 access events (0s)\n";
+  }
+  if (AM.ran(O2Phase::Detect))
+    OS << "  races: " << AM.getRaces().numRaces() << " ("
+       << AM.seconds(O2Phase::Detect) + AM.seconds(O2Phase::HBIndex)
+       << "s)\n";
 }
 
 } // namespace
@@ -247,43 +300,59 @@ int main(int Argc, char **Argv) {
     Cli.Config.Detector.LockRegionMerging = false;
   }
 
-  O2Analysis Result = analyzeModule(*M, Cli.Config);
+  AnalysisSet Set = Cli.Analyses;
+  Set |= Cli.Extra;
 
-  int Exit = Result.Races.numRaces() == 0 ? ExitClean : ExitRacesFound;
+  AnalysisManager AM(*M, Cli.Config);
+  AM.run(Set);
+
+  int Exit = AM.ran(O2Phase::Detect) && AM.getRaces().numRaces() != 0
+                 ? ExitRacesFound
+                 : ExitClean;
   if (Cli.DotCallGraph) {
-    CallGraph::build(*Result.PTA).printDot(outs(), *Result.PTA);
+    CallGraph::build(AM.getPTA()).printDot(outs(), AM.getPTA());
     return ExitClean;
   }
   if (Cli.DotSHB) {
-    printSHBDot(Result.SHB, outs());
+    printSHBDot(AM.getSHB(), outs());
     return ExitClean;
   }
   if (Cli.JSON) {
-    Result.Races.printJSON(outs(), *Result.PTA);
+    if (AM.ran(O2Phase::Detect))
+      AM.getRaces().printJSON(outs(), AM.getPTA());
     if (Cli.Stats)
-      Result.printStatsJSON(outs());
+      AM.printStatsJSON(outs());
     return Exit;
   }
   if (Cli.Stats) {
-    Result.printStatsJSON(outs());
+    AM.printStatsJSON(outs());
     return Exit;
   }
 
-  Result.printSummary(outs());
-  outs() << '\n';
-  Result.Races.print(outs(), *Result.PTA);
+  printSummary(AM, outs());
+  if (AM.ran(O2Phase::Detect)) {
+    outs() << '\n';
+    AM.getRaces().print(outs(), AM.getPTA());
+  }
 
-  if (Cli.Deadlocks) {
+  if (Set.contains(O2Phase::Deadlock)) {
     outs() << '\n';
-    detectDeadlocks(*Result.PTA, Result.SHB).print(outs(), *Result.PTA);
+    AM.getDeadlocks().print(outs(), AM.getPTA());
   }
-  if (Cli.OverSync) {
+  if (Set.contains(O2Phase::OverSync)) {
     outs() << '\n';
-    detectOverSynchronization(Result.Sharing, Result.SHB).print(outs());
+    AM.getOverSync().print(outs());
   }
-  if (Cli.RacerD) {
+  if (Set.contains(O2Phase::RacerD)) {
     outs() << '\n';
-    runRacerDLike(*M).print(outs());
+    AM.getRacerD().print(outs());
+  }
+  if (Set.contains(O2Phase::Escape)) {
+    const EscapeResult &Esc = AM.getEscape();
+    outs() << '\n'
+           << "escape analysis: " << Esc.numEscapedObjects()
+           << " escaped objects, " << Esc.numSharedAccessStmts() << "/"
+           << Esc.numAccessStmts() << " shared accesses\n";
   }
   return Exit;
 }

@@ -79,6 +79,11 @@ struct BatchOptions {
   /// ignored — the driver installs a per-job deadline token.
   O2Config Config;
 
+  /// Which analyses every job runs (`--analyses=`); infrastructure
+  /// passes are scheduled implicitly. Defaults to the classic pipeline
+  /// (OSA + race detection).
+  AnalysisSet Analyses = AnalysisSet::defaultSet();
+
   /// Worker threads; 0 picks the hardware concurrency.
   unsigned Jobs = 0;
 
@@ -89,6 +94,10 @@ struct BatchOptions {
   /// Include wall-clock phase timings in the JSONL records. Off by
   /// default so reports are byte-identical across runs.
   bool IncludeTimings = false;
+
+  /// Warm-cache directory (`--cache-dir=`); empty disables caching. See
+  /// o2/Driver/ResultCache.h for the key and robustness contract.
+  std::string CacheDir;
 };
 
 /// One reported race, rendered with a content-derived fingerprint that is
@@ -104,22 +113,66 @@ struct RaceRecord {
   std::string DiffStatus; ///< "" | "new" | "unchanged" (baseline mode).
 };
 
+/// One potential deadlock cycle (deadlock analysis section).
+struct DeadlockRecord {
+  std::string Locks; ///< The cycle's lock names, e.g. "lock3,lock7".
+  std::vector<std::string> Witnesses; ///< One rendered edge per step.
+};
+
+/// One over-synchronized lock region (oversync analysis section).
+struct OverSyncRecord {
+  std::string Stmt;     ///< Opening acquire ("" if unknown).
+  std::string Function; ///< Its function ("" if unknown).
+  unsigned Thread = 0;
+  unsigned NumAccesses = 0;
+};
+
+/// One RacerD-like warning (racerd analysis section).
+struct RacerDRecord {
+  std::string Kind; ///< "read-write" | "unprotected-write".
+  std::string Location;
+  std::string First;
+  std::string Second; ///< "" for unprotected writes.
+};
+
 struct JobResult {
   std::string Name;
   JobStatus Status = JobStatus::Clean;
   std::string Phase; ///< Phase the deadline fired in (timeout only).
   std::string Error; ///< Parse/verify/internal diagnostic.
 
-  double PTAMs = 0, OSAMs = 0, SHBMs = 0, DetectMs = 0;
-  double totalMs() const { return PTAMs + OSAMs + SHBMs + DetectMs; }
+  /// Which analyses this job was asked to run; selects the JSONL
+  /// sections. Overlaid from the request (never cached).
+  AnalysisSet Analyses;
 
-  /// Per-job solver and detector counters (partial on timeout).
+  /// Per-pass wall-clock, including the aux analyses and the shared
+  /// HBIndex build (0 for passes that did not run).
+  double PTAMs = 0, OSAMs = 0, SHBMs = 0, HBIndexMs = 0, DetectMs = 0;
+  double DeadlockMs = 0, OverSyncMs = 0, RacerDMs = 0, EscapeMs = 0;
+
+  /// Sum over every pass — aux analyses included, unlike the pre-manager
+  /// driver which silently dropped everything but the four core phases.
+  double totalMs() const {
+    return PTAMs + OSAMs + SHBMs + HBIndexMs + DetectMs + DeadlockMs +
+           OverSyncMs + RacerDMs + EscapeMs;
+  }
+
+  /// Per-job counters from every ran pass (partial on timeout).
   StatisticRegistry Stats;
 
   std::vector<RaceRecord> Races;
+  std::vector<DeadlockRecord> Deadlocks;
+  std::vector<OverSyncRecord> OverSyncs;
+  std::vector<RacerDRecord> RacerDWarnings;
 
   /// Baseline fingerprints no longer reported (set by applyBaseline).
   std::vector<std::string> FixedRaces;
+
+  /// Warm-cache outcome for this job (never serialized; feeds the
+  /// BatchResult counters, deliberately kept out of the JSONL so cold
+  /// and warm reports stay byte-identical).
+  enum class CacheOutcome : uint8_t { None, Hit, Miss } Cache =
+      CacheOutcome::None;
 };
 
 struct BatchResult {
@@ -131,6 +184,12 @@ struct BatchResult {
   /// baseline diff counts, plus every per-job counter folded in via
   /// StatisticRegistry::merge.
   StatisticRegistry Summary;
+
+  /// Warm-cache tallies (zero when no --cache-dir). Kept out of Summary
+  /// and the JSONL report: cold and warm runs must produce byte-identical
+  /// reports, so cache telemetry only appears in the stderr summary.
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
 
   /// Worst exit code over all jobs: any error/timeout wins over races,
   /// races win over clean.

@@ -17,45 +17,25 @@
 ///   Result.Races.print(outs(), *Result.PTA);
 /// \endcode
 ///
+/// analyzeModule is a compatibility shim over the AnalysisManager
+/// (o2/Analysis/AnalysisManager.h), which also owns O2Config, O2Phase
+/// and phaseName — they are re-exported from here unchanged. Clients
+/// that want the aux detectors (deadlock, over-sync, RacerD-like,
+/// escape), result sharing across detectors, or per-pass fingerprints
+/// use the manager directly.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef O2_O2_H
 #define O2_O2_H
 
-#include "o2/OSA/SharingAnalysis.h"
-#include "o2/PTA/PointerAnalysis.h"
-#include "o2/Race/RaceDetector.h"
-#include "o2/SHB/SHBGraph.h"
+#include "o2/Analysis/AnalysisManager.h"
 
 #include <memory>
 
 namespace o2 {
 
 class OutputStream;
-
-struct O2Config {
-  /// Pointer analysis configuration; defaults to 1-origin (OPA).
-  PTAOptions PTA;
-
-  /// Detector configuration (all three optimizations on by default).
-  RaceDetectorOptions Detector;
-
-  /// Also run OSA and include its result (requires origin sensitivity).
-  bool RunOSA = true;
-
-  /// Optional cooperative deadline/cancellation, threaded into the hot
-  /// loop of every phase. When it fires, the in-flight phase stops early,
-  /// later phases are skipped, and O2Analysis::CancelledIn records where
-  /// the pipeline died. Not owned.
-  const CancellationToken *Cancel = nullptr;
-};
-
-/// The pipeline phase an analysis was cancelled in (None = ran to
-/// completion).
-enum class O2Phase : uint8_t { None, PTA, OSA, SHB, Detect };
-
-/// Short stable name of \p P: "pta", "osa", "shb", "race" ("" for None).
-const char *phaseName(O2Phase P);
 
 /// Everything one O2 run produces, with per-phase wall-clock times the
 /// way the paper's tables report them.

@@ -23,6 +23,7 @@
 
 #include "o2/PTA/PointerAnalysis.h"
 #include "o2/Support/BitVector.h"
+#include "o2/Support/CancellationToken.h"
 
 namespace o2 {
 
@@ -36,16 +37,22 @@ public:
   unsigned numSharedAccessStmts() const { return NumSharedAccessStmts; }
   unsigned numAccessStmts() const { return NumAccessStmts; }
 
+  /// True if a cancellation token fired mid-analysis.
+  bool cancelled() const { return Cancelled; }
+
 private:
   friend class EscapeAnalysis;
 
   BitVector Escaped;
   unsigned NumSharedAccessStmts = 0;
   unsigned NumAccessStmts = 0;
+  bool Cancelled = false;
 };
 
-/// Runs the escape analysis over any pointer-analysis result.
-EscapeResult runEscapeAnalysis(const PTAResult &PTA);
+/// Runs the escape analysis over any pointer-analysis result. \p Cancel
+/// is polled in the field-closure worklist and access-count loops.
+EscapeResult runEscapeAnalysis(const PTAResult &PTA,
+                               const CancellationToken *Cancel = nullptr);
 
 } // namespace o2
 

@@ -23,6 +23,7 @@
 #define O2_RACE_DEADLOCKDETECTOR_H
 
 #include "o2/SHB/SHBGraph.h"
+#include "o2/Support/CancellationToken.h"
 
 #include <vector>
 
@@ -55,6 +56,10 @@ public:
   }
   const std::vector<LockOrderEdge> &edges() const { return Edges; }
 
+  /// True if a cancellation token fired mid-analysis; the report then
+  /// holds only the cycles found before the cut.
+  bool cancelled() const { return Cancelled; }
+
   void print(OutputStream &OS, const PTAResult &PTA) const;
 
 private:
@@ -62,10 +67,13 @@ private:
 
   std::vector<LockOrderEdge> Edges;
   std::vector<DeadlockCycle> Cycles;
+  bool Cancelled = false;
 };
 
-/// Detects potential deadlocks over a prebuilt SHB graph.
-DeadlockReport detectDeadlocks(const PTAResult &PTA, const SHBGraph &SHB);
+/// Detects potential deadlocks over a prebuilt SHB graph. \p Cancel is
+/// polled in the edge-collection and cycle-search loops.
+DeadlockReport detectDeadlocks(const PTAResult &PTA, const SHBGraph &SHB,
+                               const CancellationToken *Cancel = nullptr);
 
 } // namespace o2
 

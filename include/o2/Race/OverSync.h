@@ -21,6 +21,7 @@
 
 #include "o2/OSA/SharingAnalysis.h"
 #include "o2/SHB/SHBGraph.h"
+#include "o2/Support/CancellationToken.h"
 
 #include <vector>
 
@@ -45,21 +46,28 @@ public:
   /// Lock regions inspected in total.
   unsigned numRegionsChecked() const { return NumRegionsChecked; }
 
+  /// True if a cancellation token fired mid-analysis.
+  bool cancelled() const { return Cancelled; }
+
   void print(OutputStream &OS) const;
 
 private:
-  friend OverSyncReport detectOverSynchronization(const SharingResult &,
-                                                  const SHBGraph &);
+  friend OverSyncReport
+  detectOverSynchronization(const SharingResult &, const SHBGraph &,
+                            const CancellationToken *);
 
   std::vector<OverSyncRegion> Regions;
   unsigned NumRegionsChecked = 0;
+  bool Cancelled = false;
 };
 
 /// Flags lock regions that guard only origin-local accesses. Empty
 /// regions (no accesses at all) are not reported — they usually guard
-/// control flow the IR does not model.
-OverSyncReport detectOverSynchronization(const SharingResult &Sharing,
-                                         const SHBGraph &SHB);
+/// control flow the IR does not model. \p Cancel is polled in the
+/// per-thread event walk.
+OverSyncReport
+detectOverSynchronization(const SharingResult &Sharing, const SHBGraph &SHB,
+                          const CancellationToken *Cancel = nullptr);
 
 } // namespace o2
 

@@ -50,6 +50,7 @@
 
 namespace o2 {
 
+class HBIndex;
 class OutputStream;
 class ThreadPool;
 
@@ -125,6 +126,14 @@ struct RaceDetectorOptions {
   /// stops and the partial report is flagged (the "race.cancelled"
   /// statistic). Not owned.
   const CancellationToken *Cancel = nullptr;
+
+  /// Optional prebuilt HBIndex over the same SHB graph (not owned). When
+  /// set, the engines use it instead of building their own — the
+  /// AnalysisManager passes the shared HBIndex pass result here so one
+  /// index build serves any number of detector runs. Only consulted on
+  /// the paths that would have built one (parallel engine; serial with
+  /// HB == Index): reports and statistics are unaffected.
+  const HBIndex *Index = nullptr;
 
   /// Forwarded to the SHB builder when the detector builds its own graph.
   SHBOptions SHB;

@@ -20,6 +20,7 @@
 #define O2_RACE_RACERDLIKE_H
 
 #include "o2/IR/Module.h"
+#include "o2/Support/CancellationToken.h"
 
 #include <string>
 #include <vector>
@@ -48,6 +49,9 @@ public:
   /// conflicting-pair count implied by unprotected-write reports.
   unsigned numPotentialRaces() const { return NumPotentialRaces; }
 
+  /// True if a cancellation token fired mid-analysis.
+  bool cancelled() const { return Cancelled; }
+
   void print(OutputStream &OS) const;
 
 private:
@@ -55,10 +59,13 @@ private:
 
   std::vector<RacerDWarning> Warnings;
   unsigned NumPotentialRaces = 0;
+  bool Cancelled = false;
 };
 
-/// Runs the syntactic detector directly over the IR.
-RacerDReport runRacerDLike(const Module &M);
+/// Runs the syntactic detector directly over the IR. \p Cancel is polled
+/// in the access-collection and pairwise-warning loops.
+RacerDReport runRacerDLike(const Module &M,
+                           const CancellationToken *Cancel = nullptr);
 
 } // namespace o2
 

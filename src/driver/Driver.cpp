@@ -8,6 +8,7 @@
 
 #include "o2/Driver/Driver.h"
 
+#include "o2/Driver/ResultCache.h"
 #include "o2/IR/Parser.h"
 #include "o2/IR/Printer.h"
 #include "o2/IR/Verifier.h"
@@ -166,12 +167,15 @@ JobResult o2::runOneJob(const JobSpec &Spec, const BatchOptions &Opts,
                         ThreadPool *SharedPool) {
   JobResult R;
   R.Name = Spec.Name;
+  R.Analyses = Opts.Analyses;
+  ResultCache Cache(Opts.CacheDir);
+  bool HaveKey = false;
+  uint64_t ContentHash = 0, ConfigFP = 0;
   try {
     std::unique_ptr<Module> M;
-    if (Spec.Profile) {
-      M = generateWorkload(*Spec.Profile);
-    } else {
-      std::string Source = Spec.Source;
+    std::string Source;
+    if (!Spec.Profile) {
+      Source = Spec.Source;
       if (Source.empty() && !Spec.Path.empty()) {
         bool Ok = false;
         Source = readFileContent(Spec.Path, Ok);
@@ -181,12 +185,44 @@ JobResult o2::runOneJob(const JobSpec &Spec, const BatchOptions &Opts,
           return R;
         }
       }
-      std::string Err;
-      M = parseModule(Source, Err, Spec.Name.empty() ? "module" : Spec.Name);
-      if (!M) {
-        R.Status = JobStatus::ParseError;
-        R.Error = Err;
-        return R;
+    }
+
+    // Warm-cache lookup, keyed purely on content: the raw source bytes
+    // for text jobs (before parsing — a hit skips the parse too), the
+    // printed module for generated workloads. The config half of the key
+    // folds in the requested analyses, every result-affecting option and
+    // each pass's version (see analysisSetFingerprint).
+    if (Cache.enabled()) {
+      ConfigFP = analysisSetFingerprint(Opts.Analyses, Opts.Config);
+      if (Spec.Profile) {
+        M = generateWorkload(*Spec.Profile);
+        ContentHash = ResultCache::contentHash(printModule(*M));
+      } else {
+        ContentHash = ResultCache::contentHash(Source);
+      }
+      HaveKey = true;
+      JobResult Cached;
+      if (Cache.lookup(ContentHash, ConfigFP, Cached)) {
+        Cached.Name = Spec.Name;
+        Cached.Analyses = Opts.Analyses;
+        Cached.Cache = JobResult::CacheOutcome::Hit;
+        return Cached;
+      }
+      R.Cache = JobResult::CacheOutcome::Miss;
+    }
+
+    if (!M) {
+      if (Spec.Profile) {
+        M = generateWorkload(*Spec.Profile);
+      } else {
+        std::string Err;
+        M = parseModule(Source, Err,
+                        Spec.Name.empty() ? "module" : Spec.Name);
+        if (!M) {
+          R.Status = JobStatus::ParseError;
+          R.Error = Err;
+          return R;
+        }
       }
     }
 
@@ -212,20 +248,73 @@ JobResult o2::runOneJob(const JobSpec &Spec, const BatchOptions &Opts,
       Cfg.Cancel = nullptr;
     }
 
-    O2Analysis A = analyzeModule(*M, Cfg);
-    R.PTAMs = A.PTASeconds * 1000.0;
-    R.OSAMs = A.OSASeconds * 1000.0;
-    R.SHBMs = A.SHBSeconds * 1000.0;
-    R.DetectMs = A.DetectSeconds * 1000.0;
-    R.Stats.merge(A.PTA->stats());
-    R.Stats.merge(A.Races.stats());
-    for (const Race &Rc : A.Races.races())
-      R.Races.push_back(makeRaceRecord(Rc, *A.PTA));
-    if (A.cancelled()) {
+    // One manager per job: the requested detectors all read the same
+    // PTA/SHB/HBIndex results, computed once.
+    AnalysisManager AM(*M, Cfg);
+    AM.run(Opts.Analyses);
+    R.PTAMs = AM.seconds(O2Phase::PTA) * 1000.0;
+    R.OSAMs = AM.seconds(O2Phase::OSA) * 1000.0;
+    R.SHBMs = AM.seconds(O2Phase::SHB) * 1000.0;
+    R.HBIndexMs = AM.seconds(O2Phase::HBIndex) * 1000.0;
+    R.DetectMs = AM.seconds(O2Phase::Detect) * 1000.0;
+    R.DeadlockMs = AM.seconds(O2Phase::Deadlock) * 1000.0;
+    R.OverSyncMs = AM.seconds(O2Phase::OverSync) * 1000.0;
+    R.RacerDMs = AM.seconds(O2Phase::RacerD) * 1000.0;
+    R.EscapeMs = AM.seconds(O2Phase::Escape) * 1000.0;
+    R.Stats = AM.stats();
+
+    if (AM.ran(O2Phase::Detect))
+      for (const Race &Rc : AM.getRaces().races())
+        R.Races.push_back(makeRaceRecord(Rc, AM.getPTA()));
+    if (AM.ran(O2Phase::Deadlock))
+      for (const DeadlockCycle &C : AM.getDeadlocks().cycles()) {
+        DeadlockRecord D;
+        for (uint32_t L : C.Locks) {
+          if (!D.Locks.empty())
+            D.Locks += ',';
+          D.Locks += "lock" + std::to_string(L);
+        }
+        for (const LockOrderEdge &E : C.Witnesses)
+          D.Witnesses.push_back(
+              "thread " + std::to_string(E.Thread) + " acquires lock" +
+              std::to_string(E.Inner) + " while holding lock" +
+              std::to_string(E.Outer) + " at '" + printStmt(*E.Acquire) +
+              "'");
+        R.Deadlocks.push_back(std::move(D));
+      }
+    if (AM.ran(O2Phase::OverSync))
+      for (const OverSyncRegion &Reg : AM.getOverSync().regions()) {
+        OverSyncRecord O;
+        if (Reg.Acquire) {
+          O.Stmt = printStmt(*Reg.Acquire);
+          O.Function = Reg.Acquire->getFunction()->getName();
+        }
+        O.Thread = Reg.Thread;
+        O.NumAccesses = Reg.NumAccesses;
+        R.OverSyncs.push_back(std::move(O));
+      }
+    if (AM.ran(O2Phase::RacerD))
+      for (const RacerDWarning &W : AM.getRacerD().warnings()) {
+        RacerDRecord Rw;
+        Rw.Kind = W.WarningKind == RacerDWarning::Kind::ReadWriteRace
+                      ? "read-write"
+                      : "unprotected-write";
+        Rw.Location = W.Location;
+        Rw.First = printStmt(*W.A);
+        if (W.B)
+          Rw.Second = printStmt(*W.B);
+        R.RacerDWarnings.push_back(std::move(Rw));
+      }
+
+    if (AM.cancelled()) {
       R.Status = JobStatus::Timeout;
-      R.Phase = phaseName(A.CancelledIn);
+      R.Phase = phaseName(AM.cancelledIn());
     } else {
       R.Status = R.Races.empty() ? JobStatus::Clean : JobStatus::Races;
+      // Only settled results are worth replaying; timeouts and errors
+      // must re-run on the next fleet.
+      if (HaveKey)
+        Cache.store(ContentHash, ConfigFP, R);
     }
   } catch (const std::exception &E) {
     R.Status = JobStatus::InternalError;
@@ -265,6 +354,13 @@ BatchResult o2::runBatch(const std::vector<JobSpec> &Specs,
     R.Summary.add(std::string("jobs.") + jobStatusName(J.Status));
     R.Summary.merge(J.Stats);
     TotalRaces += J.Races.size();
+    // Cache telemetry stays out of Summary: the summary is printed into
+    // the JSONL aggregate record, which must be byte-identical between
+    // cold and warm runs.
+    if (J.Cache == JobResult::CacheOutcome::Hit)
+      ++R.CacheHits;
+    else if (J.Cache == JobResult::CacheOutcome::Miss)
+      ++R.CacheMisses;
   }
   R.Summary.set("jobs.total", R.Jobs.size());
   R.Summary.set("races.total", TotalRaces);
@@ -383,6 +479,8 @@ void o2::printJSONL(const BatchResult &R, OutputStream &OS,
     W.beginObject();
     W.attribute("module", J.Name);
     W.attribute("status", jobStatusName(J.Status));
+    if (!J.Analyses.empty())
+      W.attribute("analyses", J.Analyses.str());
     if (!J.Phase.empty())
       W.attribute("phase", J.Phase);
     if (!J.Error.empty())
@@ -391,7 +489,12 @@ void o2::printJSONL(const BatchResult &R, OutputStream &OS,
       W.attribute("time.pta-ms", J.PTAMs);
       W.attribute("time.osa-ms", J.OSAMs);
       W.attribute("time.shb-ms", J.SHBMs);
+      W.attribute("time.hbindex-ms", J.HBIndexMs);
       W.attribute("time.race-ms", J.DetectMs);
+      W.attribute("time.deadlock-ms", J.DeadlockMs);
+      W.attribute("time.oversync-ms", J.OverSyncMs);
+      W.attribute("time.racerd-ms", J.RacerDMs);
+      W.attribute("time.escape-ms", J.EscapeMs);
       W.attribute("time.total-ms", J.totalMs());
     }
     W.key("races");
@@ -417,6 +520,48 @@ void o2::printJSONL(const BatchResult &R, OutputStream &OS,
       W.endObject();
     }
     W.endArray();
+    if (J.Analyses.contains(O2Phase::Deadlock)) {
+      W.key("deadlocks");
+      W.beginArray();
+      for (const DeadlockRecord &D : J.Deadlocks) {
+        W.beginObject();
+        W.attribute("locks", D.Locks);
+        W.key("witnesses");
+        W.beginArray();
+        for (const std::string &Wit : D.Witnesses)
+          W.value(Wit);
+        W.endArray();
+        W.endObject();
+      }
+      W.endArray();
+    }
+    if (J.Analyses.contains(O2Phase::OverSync)) {
+      W.key("oversync");
+      W.beginArray();
+      for (const OverSyncRecord &O : J.OverSyncs) {
+        W.beginObject();
+        W.attribute("stmt", O.Stmt);
+        W.attribute("function", O.Function);
+        W.attribute("thread", uint64_t(O.Thread));
+        W.attribute("accesses", uint64_t(O.NumAccesses));
+        W.endObject();
+      }
+      W.endArray();
+    }
+    if (J.Analyses.contains(O2Phase::RacerD)) {
+      W.key("racerd");
+      W.beginArray();
+      for (const RacerDRecord &Rw : J.RacerDWarnings) {
+        W.beginObject();
+        W.attribute("kind", Rw.Kind);
+        W.attribute("location", Rw.Location);
+        W.attribute("first", Rw.First);
+        if (!Rw.Second.empty())
+          W.attribute("second", Rw.Second);
+        W.endObject();
+      }
+      W.endArray();
+    }
     if (!J.FixedRaces.empty()) {
       W.key("fixed");
       W.beginArray();
@@ -465,6 +610,9 @@ void o2::printBatchSummary(const BatchResult &R, OutputStream &OS) {
     OS << "  diff: " << R.Summary.get("diff.new") << " new, "
        << R.Summary.get("diff.unchanged") << " unchanged, "
        << R.Summary.get("diff.fixed") << " fixed\n";
+  if (R.CacheHits || R.CacheMisses)
+    OS << "  cache: " << R.CacheHits << " hit(s), " << R.CacheMisses
+       << " miss(es)\n";
 }
 
 //===----------------------------------------------------------------------===//
@@ -480,6 +628,16 @@ static void printBatchUsage(OutputStream &OS) {
      << "\n"
      << "  --jobs=N          worker threads (default: hardware "
         "concurrency)\n"
+     << "  --analyses=LIST   comma-separated analyses per job: race, "
+        "deadlock, oversync,\n"
+     << "                    racerd, escape, osa, or 'all' (default: "
+        "osa,race); shared\n"
+     << "                    passes (pta, shb, hbindex) are computed once "
+        "per module\n"
+     << "  --cache-dir=DIR   warm result cache keyed by module content + "
+        "config\n"
+     << "                    fingerprint; unchanged jobs replay identical "
+        "records\n"
      << "  --deadline-ms=N   per-job analysis budget; overruns become "
         "'timeout' records\n"
      << "  --out=FILE        write the JSONL report to FILE (default: "
@@ -521,6 +679,14 @@ int o2::runBatchCommand(const std::vector<std::string> &Args) {
       return ExitClean;
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       Opts.Jobs = unsigned(std::strtoul(Value().c_str(), nullptr, 10));
+    } else if (Arg.rfind("--analyses=", 0) == 0) {
+      std::string Err;
+      if (!parseAnalysisSet(Value(), Opts.Analyses, Err)) {
+        errs() << "o2batch: " << Err << "\n";
+        return ExitError;
+      }
+    } else if (Arg.rfind("--cache-dir=", 0) == 0) {
+      Opts.CacheDir = Value();
     } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
       Opts.DeadlineMs = std::strtoull(Value().c_str(), nullptr, 10);
     } else if (Arg == "--timings") {

@@ -10,70 +10,29 @@
 
 #include "o2/Support/JSONWriter.h"
 #include "o2/Support/OutputStream.h"
-#include "o2/Support/Timer.h"
 
 using namespace o2;
 
-const char *o2::phaseName(O2Phase P) {
-  switch (P) {
-  case O2Phase::None:
-    return "";
-  case O2Phase::PTA:
-    return "pta";
-  case O2Phase::OSA:
-    return "osa";
-  case O2Phase::SHB:
-    return "shb";
-  case O2Phase::Detect:
-    return "race";
-  }
-  return "";
-}
-
 O2Analysis o2::analyzeModule(const Module &M, const O2Config &Config) {
+  AnalysisManager AM(M, Config);
+  AnalysisSet Set{O2Phase::Detect};
+  if (Config.RunOSA && Config.PTA.Kind == ContextKind::Origin)
+    Set.insert(O2Phase::OSA);
+  AM.run(Set);
+
   O2Analysis Result;
-
-  // A cancellation token on the config reaches every phase's hot loop.
-  PTAOptions PTAOpts = Config.PTA;
-  RaceDetectorOptions DetOpts = Config.Detector;
-  if (Config.Cancel) {
-    PTAOpts.Cancel = Config.Cancel;
-    DetOpts.Cancel = Config.Cancel;
-    DetOpts.SHB.Cancel = Config.Cancel;
-  }
-
-  Timer T;
-  Result.PTA = runPointerAnalysis(M, PTAOpts);
-  Result.PTASeconds = T.seconds();
-  if (Result.PTA->cancelled()) {
-    Result.CancelledIn = O2Phase::PTA;
-    return Result;
-  }
-
-  if (Config.RunOSA && Config.PTA.Kind == ContextKind::Origin) {
-    T.reset();
-    Result.Sharing = runSharingAnalysis(*Result.PTA, Config.Cancel);
-    Result.OSASeconds = T.seconds();
-    if (Result.Sharing.cancelled()) {
-      Result.CancelledIn = O2Phase::OSA;
-      return Result;
-    }
-  }
-
-  T.reset();
-  Result.SHB = buildSHBGraph(*Result.PTA, DetOpts.SHB);
-  Result.SHBSeconds = T.seconds();
-  if (Result.SHB.cancelled()) {
-    Result.CancelledIn = O2Phase::SHB;
-    return Result;
-  }
-
-  T.reset();
-  Result.Races = detectRaces(*Result.PTA, Result.SHB, DetOpts);
-  Result.DetectSeconds = T.seconds();
-  if (Result.Races.cancelled())
-    Result.CancelledIn = O2Phase::Detect;
-
+  Result.PTASeconds = AM.seconds(O2Phase::PTA);
+  Result.OSASeconds = AM.seconds(O2Phase::OSA);
+  Result.SHBSeconds = AM.seconds(O2Phase::SHB);
+  // The facade predates the standalone HBIndex pass; its build time was
+  // always part of the detector's, so fold it back in.
+  Result.DetectSeconds =
+      AM.seconds(O2Phase::Detect) + AM.seconds(O2Phase::HBIndex);
+  Result.CancelledIn = AM.cancelledIn();
+  Result.PTA = AM.takePTA();
+  Result.Sharing = AM.takeSharing();
+  Result.SHB = AM.takeSHB();
+  Result.Races = AM.takeRaces();
   return Result;
 }
 

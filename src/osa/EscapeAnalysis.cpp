@@ -19,12 +19,15 @@ namespace o2 {
 
 class EscapeAnalysis {
 public:
-  explicit EscapeAnalysis(const PTAResult &PTA) : PTA(PTA) {}
+  EscapeAnalysis(const PTAResult &PTA, const CancellationToken *Cancel)
+      : PTA(PTA), Cancel(Cancel) {}
 
   EscapeResult run() {
     seedRoots();
-    closeOverFields();
-    countSharedAccesses();
+    if (!R.Cancelled)
+      closeOverFields();
+    if (!R.Cancelled)
+      countSharedAccesses();
     return std::move(R);
   }
 
@@ -84,6 +87,10 @@ private:
     // Index: object -> its field points-to sets.
     std::sort(FieldPtsByObj.begin(), FieldPtsByObj.end());
     while (!Worklist.empty()) {
+      if (pollCancelled(Cancel)) {
+        R.Cancelled = true;
+        return;
+      }
       unsigned Obj = Worklist.back();
       Worklist.pop_back();
       auto It = std::lower_bound(
@@ -105,6 +112,10 @@ private:
     std::set<unsigned> AccessStmts;
     std::set<unsigned> SharedStmts;
     for (const auto &[F, C] : PTA.instances()) {
+      if (pollCancelled(Cancel)) {
+        R.Cancelled = true;
+        return;
+      }
       for (const auto &SPtr : F->body()) {
         const Stmt &S = *SPtr;
         bool IsAccess = true;
@@ -143,12 +154,14 @@ private:
   }
 
   const PTAResult &PTA;
+  const CancellationToken *Cancel;
   EscapeResult R;
   std::vector<unsigned> Worklist;
 };
 
 } // namespace o2
 
-EscapeResult o2::runEscapeAnalysis(const PTAResult &PTA) {
-  return EscapeAnalysis(PTA).run();
+EscapeResult o2::runEscapeAnalysis(const PTAResult &PTA,
+                                   const CancellationToken *Cancel) {
+  return EscapeAnalysis(PTA, Cancel).run();
 }

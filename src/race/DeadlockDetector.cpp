@@ -21,18 +21,24 @@ namespace o2 {
 
 class DeadlockDetector {
 public:
-  DeadlockDetector(const PTAResult &PTA, const SHBGraph &SHB)
-      : PTA(PTA), SHB(SHB) {}
+  DeadlockDetector(const PTAResult &PTA, const SHBGraph &SHB,
+                   const CancellationToken *Cancel)
+      : PTA(PTA), SHB(SHB), Cancel(Cancel) {}
 
   DeadlockReport run() {
     collectEdges();
-    findCycles();
+    if (!R.Cancelled)
+      findCycles();
     return std::move(R);
   }
 
 private:
   void collectEdges() {
     for (const ThreadInfo &T : SHB.threads()) {
+      if (pollCancelled(Cancel)) {
+        R.Cancelled = true;
+        return;
+      }
       for (const AcquireEvent &A : T.Acquires) {
         if (A.HeldBefore == InternTable::Empty)
           continue;
@@ -67,8 +73,13 @@ private:
       Nodes.insert(R.Edges[I].Inner);
     }
     SmallVector<size_t, 4> Path;
-    for (uint32_t Start : Nodes)
+    for (uint32_t Start : Nodes) {
+      if (pollCancelled(Cancel)) {
+        R.Cancelled = true;
+        return;
+      }
       dfs(Start, Start, Path, OutEdges);
+    }
   }
 
   static constexpr unsigned MaxCycleLen = 4;
@@ -163,6 +174,7 @@ private:
 
   const PTAResult &PTA;
   const SHBGraph &SHB;
+  const CancellationToken *Cancel;
   DeadlockReport R;
   std::set<std::vector<uint32_t>> SeenCycles;
 };
@@ -184,6 +196,7 @@ void DeadlockReport::print(OutputStream &OS, const PTAResult &PTA) const {
   }
 }
 
-DeadlockReport o2::detectDeadlocks(const PTAResult &PTA, const SHBGraph &SHB) {
-  return DeadlockDetector(PTA, SHB).run();
+DeadlockReport o2::detectDeadlocks(const PTAResult &PTA, const SHBGraph &SHB,
+                                   const CancellationToken *Cancel) {
+  return DeadlockDetector(PTA, SHB, Cancel).run();
 }

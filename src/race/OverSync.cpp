@@ -15,10 +15,16 @@
 
 using namespace o2;
 
-OverSyncReport o2::detectOverSynchronization(const SharingResult &Sharing,
-                                             const SHBGraph &SHB) {
+OverSyncReport
+o2::detectOverSynchronization(const SharingResult &Sharing,
+                              const SHBGraph &SHB,
+                              const CancellationToken *Cancel) {
   OverSyncReport R;
   for (const ThreadInfo &T : SHB.threads()) {
+    if (pollCancelled(Cancel)) {
+      R.Cancelled = true;
+      return R;
+    }
     // Group this thread's accesses by innermost lock region.
     struct RegionState {
       unsigned NumAccesses = 0;

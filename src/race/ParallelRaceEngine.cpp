@@ -318,10 +318,16 @@ RaceReport o2::runParallelRaceEngine(const PTAResult &PTA, const SHBGraph &SHB,
     return R;
   }
 
-  // The indexes every shard shares, immutable once built.
-  HBIndex HBI(SHB);
+  // The indexes every shard shares, immutable once built. A prebuilt
+  // index (the AnalysisManager's HBIndex pass) is used as-is.
+  std::unique_ptr<HBIndex> OwnedHBI;
+  const HBIndex *HBI = Opts.Index;
+  if (!HBI) {
+    OwnedHBI = std::make_unique<HBIndex>(SHB);
+    HBI = OwnedHBI.get();
+  }
   if (Opts.HB == RaceHBKind::Index)
-    Stats.set("race.hb-index-segments", HBI.numSegments());
+    Stats.set("race.hb-index-segments", HBI->numSegments());
   std::unique_ptr<LocksetMatrix> Matrix;
   if (Opts.CacheLocksetChecks && SHB.numLocksets() <= Opts.LocksetMatrixMaxSize)
     Matrix = std::make_unique<LocksetMatrix>(SHB);
@@ -330,7 +336,7 @@ RaceReport o2::runParallelRaceEngine(const PTAResult &PTA, const SHBGraph &SHB,
   auto S = std::make_shared<EngineState>();
   S->Candidates = &Candidates;
   S->SHB = &SHB;
-  S->HBI = &HBI;
+  S->HBI = HBI;
   S->Matrix = Matrix.get();
   S->Opts = &Opts;
   S->Results.resize(N);

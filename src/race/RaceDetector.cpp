@@ -129,8 +129,13 @@ public:
   RaceReport run() {
     Candidates = collectCandidates(PTA, SHB, Opts, R.Stats);
     if (!Candidates.empty() && Opts.HB == RaceHBKind::Index) {
-      HBI = std::make_unique<HBIndex>(SHB);
-      R.Stats.set("race.hb-index-segments", HBI->numSegments());
+      if (Opts.Index) {
+        SharedHBI = Opts.Index;
+      } else {
+        HBI = std::make_unique<HBIndex>(SHB);
+        SharedHBI = HBI.get();
+      }
+      R.Stats.set("race.hb-index-segments", SharedHBI->numSegments());
     }
     for (auto &[Loc, Accesses] : Candidates) {
       if (BudgetExhausted || R.Cancelled)
@@ -156,7 +161,7 @@ private:
     case RaceHBKind::Memo:
       return SHB.happensBefore(A.Thread, A.Pos, B.Thread, B.Pos);
     case RaceHBKind::Index:
-      return HBI->happensBefore(A.Thread, A.Pos, B.Thread, B.Pos);
+      return SharedHBI->happensBefore(A.Thread, A.Pos, B.Thread, B.Pos);
     }
     return false;
   }
@@ -218,7 +223,8 @@ private:
   const SHBGraph &SHB;
   RaceDetectorOptions Opts;
   RaceReport R;
-  std::unique_ptr<HBIndex> HBI;
+  std::unique_ptr<HBIndex> HBI; ///< engine-built fallback, see SharedHBI
+  const HBIndex *SharedHBI = nullptr;
   CandidateList Candidates;
   /// Reported (stmt A, stmt B) pairs, A < B, packed into one word.
   std::unordered_set<uint64_t> ReportedPairs;

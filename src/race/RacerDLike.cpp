@@ -23,13 +23,16 @@ namespace o2 {
 
 class RacerDLikeDetector {
 public:
-  explicit RacerDLikeDetector(const Module &M) : M(M) {}
+  RacerDLikeDetector(const Module &M, const CancellationToken *Cancel)
+      : M(M), Cancel(Cancel) {}
 
   RacerDReport run() {
     buildNameIndex();
     computeRootReachability();
-    collectAccesses();
-    emitWarnings();
+    if (!R.Cancelled)
+      collectAccesses();
+    if (!R.Cancelled)
+      emitWarnings();
     return std::move(R);
   }
 
@@ -91,6 +94,10 @@ private:
       std::deque<const Function *> Queue{Roots[RootIdx]};
       std::set<const Function *> Visited;
       while (!Queue.empty()) {
+        if (pollCancelled(Cancel)) {
+          R.Cancelled = true;
+          return;
+        }
         const Function *F = Queue.front();
         Queue.pop_front();
         if (!Visited.insert(F).second)
@@ -141,6 +148,10 @@ private:
 
   void collectAccesses() {
     for (const auto &FPtr : M.functions()) {
+      if (pollCancelled(Cancel)) {
+        R.Cancelled = true;
+        return;
+      }
       const Function *F = FPtr.get();
       if (!RootsOf.count(F))
         continue; // dead code
@@ -242,6 +253,10 @@ private:
       // more than one thread and the access is unsynchronized.
       std::set<std::pair<const Function *, const Function *>> Reported;
       for (size_t I = 0; I < Accesses.size(); ++I) {
+        if (pollCancelled(Cancel)) {
+          R.Cancelled = true;
+          return;
+        }
         for (size_t J = I; J < Accesses.size(); ++J) {
           const Access &A = Accesses[I];
           const Access &B = Accesses[J];
@@ -287,6 +302,7 @@ private:
   }
 
   const Module &M;
+  const CancellationToken *Cancel;
   RacerDReport R;
   std::map<std::string, std::vector<const Function *>> MethodsByName;
   std::map<const Function *, std::set<unsigned>> RootsOf;
@@ -309,6 +325,7 @@ void RacerDReport::print(OutputStream &OS) const {
   }
 }
 
-RacerDReport o2::runRacerDLike(const Module &M) {
-  return RacerDLikeDetector(M).run();
+RacerDReport o2::runRacerDLike(const Module &M,
+                               const CancellationToken *Cancel) {
+  return RacerDLikeDetector(M, Cancel).run();
 }

@@ -18,6 +18,8 @@
 #include "o2/IR/Parser.h"
 #include "o2/Support/OutputStream.h"
 
+#include <filesystem>
+#include <fstream>
 #include <gtest/gtest.h>
 
 using namespace o2;
@@ -312,6 +314,168 @@ TEST(DriverTest, ExitCodeConvention) {
                       sourceSpec("x", "class {")})
                 .exitCode(),
             ExitError);
+}
+
+std::string freshCacheDir(const char *Name) {
+  std::string Dir = testing::TempDir() + "o2-drivertest-" + Name;
+  std::filesystem::remove_all(Dir);
+  return Dir;
+}
+
+TEST(DriverTest, AnalysesSelectSectionsAndStayDeterministic) {
+  std::vector<JobSpec> Specs = {sourceSpec("racy", RacyProgram),
+                                sourceSpec("clean", CleanProgram)};
+
+  BatchOptions Opts;
+  Opts.Analyses = {O2Phase::Detect, O2Phase::Deadlock, O2Phase::OverSync,
+                   O2Phase::RacerD};
+  Opts.Jobs = 1;
+  BatchResult Narrow = runBatch(Specs, Opts);
+  std::string Golden = renderJSONL(Narrow);
+
+  // Byte-identical across worker counts, aux sections included.
+  Opts.Jobs = 8;
+  EXPECT_EQ(renderJSONL(runBatch(Specs, Opts)), Golden);
+  EXPECT_NE(Golden.find("\"analyses\":\"race,deadlock,oversync,racerd\""),
+            std::string::npos);
+  EXPECT_NE(Golden.find("\"deadlocks\":"), std::string::npos);
+  EXPECT_NE(Golden.find("\"oversync\":"), std::string::npos);
+  EXPECT_NE(Golden.find("\"racerd\":"), std::string::npos);
+
+  // The aux analyses produce their counters but never change the race
+  // status or the exit code.
+  ASSERT_EQ(Narrow.Jobs.size(), 2u);
+  EXPECT_EQ(Narrow.Jobs[1].Status, JobStatus::Races);
+  EXPECT_GT(Narrow.Jobs[1].Stats.get("racerd.warnings"), 0u);
+  EXPECT_EQ(Narrow.exitCode(), ExitRacesFound);
+
+  // The default request carries no aux sections.
+  std::string Default = renderJSONL(runBatch(Specs));
+  EXPECT_EQ(Default.find("\"deadlocks\":"), std::string::npos);
+  EXPECT_EQ(Default.find("\"racerd\":"), std::string::npos);
+}
+
+TEST(DriverTest, WarmCacheReplaysIdenticalReports) {
+  std::vector<JobSpec> Specs = {sourceSpec("racy", RacyProgram),
+                                sourceSpec("clean", CleanProgram)};
+  BatchOptions Opts;
+  Opts.Analyses = {O2Phase::OSA, O2Phase::Detect, O2Phase::Deadlock,
+                   O2Phase::OverSync};
+  Opts.CacheDir = freshCacheDir("warm");
+
+  BatchResult Cold = runBatch(Specs, Opts);
+  EXPECT_EQ(Cold.CacheHits, 0u);
+  EXPECT_EQ(Cold.CacheMisses, 2u);
+
+  BatchResult Warm = runBatch(Specs, Opts);
+  EXPECT_EQ(Warm.CacheHits, 2u);
+  EXPECT_EQ(Warm.CacheMisses, 0u);
+
+  // The warm run replays byte-identical records — cache telemetry is
+  // deliberately kept out of the JSONL.
+  EXPECT_EQ(renderJSONL(Warm), renderJSONL(Cold));
+  std::string Report = renderJSONL(Warm);
+  EXPECT_EQ(Report.find("cache"), std::string::npos);
+
+  // A different config fingerprint misses: same modules, new entries.
+  BatchOptions Worklist = Opts;
+  Worklist.Config.PTA.Solver = SolverKind::Worklist;
+  BatchResult Cross = runBatch(Specs, Worklist);
+  EXPECT_EQ(Cross.CacheHits, 0u);
+  EXPECT_EQ(Cross.CacheMisses, 2u);
+
+  // Renaming a job does not invalidate its entry (the key is content).
+  std::vector<JobSpec> Renamed = {sourceSpec("renamed", RacyProgram)};
+  BatchResult Moved = runBatch(Renamed, Opts);
+  EXPECT_EQ(Moved.CacheHits, 1u);
+  ASSERT_EQ(Moved.Jobs.size(), 1u);
+  EXPECT_EQ(Moved.Jobs[0].Name, "renamed");
+  EXPECT_EQ(Moved.Jobs[0].Races.size(), 1u);
+}
+
+TEST(DriverTest, CorruptCacheEntriesDegradeToMisses) {
+  std::vector<JobSpec> Specs = {sourceSpec("racy", RacyProgram)};
+  BatchOptions Opts;
+  Opts.Analyses = {O2Phase::Detect, O2Phase::Deadlock};
+  Opts.CacheDir = freshCacheDir("corrupt");
+
+  std::string Golden = renderJSONL(runBatch(Specs, Opts));
+
+  // Truncate every entry: checksum fails, jobs re-run, report unchanged.
+  for (const auto &E : std::filesystem::directory_iterator(Opts.CacheDir)) {
+    std::ofstream Out(E.path(), std::ios::trunc | std::ios::binary);
+    Out << "o2cache";
+  }
+  BatchResult Truncated = runBatch(Specs, Opts);
+  EXPECT_EQ(Truncated.CacheHits, 0u);
+  EXPECT_EQ(Truncated.CacheMisses, 1u);
+  EXPECT_EQ(renderJSONL(Truncated), Golden);
+
+  // Version skew: a valid-looking header from the future is a miss too.
+  for (const auto &E : std::filesystem::directory_iterator(Opts.CacheDir)) {
+    std::ofstream Out(E.path(), std::ios::trunc | std::ios::binary);
+    Out << "o2cache 9999 0000000000000000\n";
+  }
+  BatchResult Skewed = runBatch(Specs, Opts);
+  EXPECT_EQ(Skewed.CacheHits, 0u);
+  EXPECT_EQ(renderJSONL(Skewed), Golden);
+
+  // The re-run overwrote the damaged entries: warm again.
+  BatchResult Healed = runBatch(Specs, Opts);
+  EXPECT_EQ(Healed.CacheHits, 1u);
+  EXPECT_EQ(renderJSONL(Healed), Golden);
+}
+
+TEST(DriverTest, TotalMsIncludesAuxAnalyses) {
+  // The regression the manager fixed: totalMs used to sum only the four
+  // core phases, silently dropping aux-analysis time.
+  JobResult R;
+  R.PTAMs = 1;
+  R.OSAMs = 2;
+  R.SHBMs = 4;
+  R.HBIndexMs = 8;
+  R.DetectMs = 16;
+  R.DeadlockMs = 32;
+  R.OverSyncMs = 64;
+  R.RacerDMs = 128;
+  R.EscapeMs = 256;
+  EXPECT_DOUBLE_EQ(R.totalMs(), 511.0);
+
+  BatchOptions Opts;
+  Opts.Analyses = AnalysisSet::all();
+  JobResult Live = runOneJob(sourceSpec("racy", RacyProgram), Opts);
+  EXPECT_EQ(Live.Status, JobStatus::Races);
+  EXPECT_DOUBLE_EQ(Live.totalMs(),
+                   Live.PTAMs + Live.OSAMs + Live.SHBMs + Live.HBIndexMs +
+                       Live.DetectMs + Live.DeadlockMs + Live.OverSyncMs +
+                       Live.RacerDMs + Live.EscapeMs);
+  EXPECT_GT(Live.totalMs(), 0.0);
+}
+
+TEST(DriverTest, DeadlineTimeoutNamesAuxPhase) {
+  // RacerD has no dependencies, so with a RacerD-only request the first
+  // pass the deadline can fire in is RacerD itself — the timeout record
+  // must name the aux analysis, not "pta". The telegram workload keeps
+  // RacerD busy for ~1s, far past the 1ms budget.
+  const WorkloadProfile *Heavy = findProfile("telegram");
+  ASSERT_NE(Heavy, nullptr);
+  JobSpec Spec;
+  Spec.Name = "heavy";
+  Spec.Profile = Heavy;
+
+  BatchOptions Opts;
+  Opts.Analyses = {O2Phase::RacerD};
+  Opts.DeadlineMs = 1;
+  Opts.CacheDir = freshCacheDir("timeout");
+  BatchResult R = runBatch({Spec}, Opts);
+  ASSERT_EQ(R.Jobs.size(), 1u);
+  EXPECT_EQ(R.Jobs[0].Status, JobStatus::Timeout);
+  EXPECT_EQ(R.Jobs[0].Phase, "racerd");
+
+  // Timeouts are never cached: the re-run misses again.
+  BatchResult Again = runBatch({Spec}, Opts);
+  EXPECT_EQ(Again.CacheHits, 0u);
+  EXPECT_EQ(Again.Jobs[0].Status, JobStatus::Timeout);
 }
 
 TEST(DriverTest, LoadBaselineHandlesEscapesAndJunk) {
