@@ -46,6 +46,7 @@
 #include "o2/SHB/HBIndex.h"
 #include "o2/SHB/SHBGraph.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -150,6 +151,12 @@ struct O2Config {
   /// later passes are skipped, and cancelledIn() records where the
   /// pipeline died. Not owned.
   const CancellationToken *Cancel = nullptr;
+
+  /// Optional hook invoked with each pass right before its body runs.
+  /// The batch driver's isolated worker streams these as progress
+  /// markers so a crash mid-pass can be attributed to the pass. Excluded
+  /// from config fingerprints (it never affects results).
+  std::function<void(O2Phase)> OnPassStart;
 };
 
 /// Deterministic fingerprint of the configuration as seen by pass \p K:

@@ -29,6 +29,7 @@
 #include "o2/O2.h"
 #include "o2/Workload/Generator.h"
 
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -48,10 +49,15 @@ enum class JobStatus : uint8_t {
   ParseError,    ///< Unreadable file or OIR syntax error.
   VerifyError,   ///< Parsed but failed module verification.
   InternalError, ///< The pipeline threw; JobResult::Error has the what().
+  Crashed,       ///< The isolated worker died (signal, assert, protocol
+                 ///< breakdown); JobResult::Signal names the signal and
+                 ///< Phase the last stage the worker reported entering.
+  OOM,           ///< Allocation failed (std::bad_alloc in-process, or the
+                 ///< --mem-limit-mb address-space cap in a worker).
 };
 
 /// Stable lowercase name: "clean", "races", "timeout", "parse-error",
-/// "verify-error", "internal-error".
+/// "verify-error", "internal-error", "crashed", "oom".
 const char *jobStatusName(JobStatus S);
 
 /// Process exit codes shared by o2cli and o2batch.
@@ -61,8 +67,18 @@ enum ExitCode : int {
   ExitError = 2,      ///< Parse/verify/internal error or timeout.
 };
 
-/// Maps a job status onto the shared exit-code convention.
+/// Maps a job status onto the shared exit-code convention (Crashed and
+/// OOM join the error family: exit 2).
 int exitCodeFor(JobStatus S);
+
+/// How the batch driver contains a job's failure modes.
+enum class IsolationMode : uint8_t {
+  InProcess, ///< Jobs run on the pool threads (fast; a crash is fatal).
+  Process,   ///< Each job runs in a forked sandboxed worker: RSS cap via
+             ///< setrlimit, SIGTERM→SIGKILL hard-kill escalation, and a
+             ///< structured result pipe — a crash becomes a `crashed`
+             ///< record instead of taking down the fleet.
+};
 
 /// One unit of batch work. Exactly one of Source / Path / Profile
 /// provides the module: a non-null Profile wins, else a non-empty Source,
@@ -98,6 +114,47 @@ struct BatchOptions {
   /// Warm-cache directory (`--cache-dir=`); empty disables caching. See
   /// o2/Driver/ResultCache.h for the key and robustness contract.
   std::string CacheDir;
+
+  /// Fault containment (`--isolate=`). Process mode forks one sandboxed
+  /// worker per job; on platforms without fork it silently degrades to
+  /// in-process execution.
+  IsolationMode Isolate = IsolationMode::InProcess;
+
+  /// Worker address-space cap in MiB (`--mem-limit-mb=`, process
+  /// isolation only); 0 means uncapped. An allocation beyond the cap
+  /// fails inside the worker and surfaces as an `oom` record.
+  uint64_t MemLimitMB = 0;
+
+  /// Hard wall-clock kill for stuck workers (`--kill-after-ms=`, process
+  /// isolation only): SIGTERM at the limit, SIGKILL shortly after. 0
+  /// derives a limit from DeadlineMs (2x + 10s) when one is set, else no
+  /// hard kill. Unlike the cooperative deadline this works on workers
+  /// that stopped polling entirely.
+  uint64_t HardKillMs = 0;
+
+  /// Bounded retry for transient failures (`--retries=N`): a job ending
+  /// in Crashed / OOM / InternalError is re-attempted up to N extra
+  /// times with exponential backoff before its failure is reported.
+  unsigned Retries = 0;
+
+  /// First retry backoff in milliseconds (doubles per attempt, capped at
+  /// 2s). Only consulted when Retries > 0.
+  uint64_t RetryBackoffMs = 50;
+
+  /// Sound graceful degradation (`--degrade`): a job whose final outcome
+  /// is Timeout or OOM is re-queued once under a cheaper, still-sound
+  /// configuration (context-insensitive PTA — a strict over-
+  /// approximation of origin contexts — plus extra race-pair budget
+  /// slack). A degraded completion is tagged `degraded:true` with the
+  /// fallback config fingerprint in the JSONL and is never cached.
+  bool Degrade = false;
+
+  /// Worker-side progress hook: called with a stage name ("setup",
+  /// "parse", "verify", then each pass name) as the job enters it. The
+  /// process-isolation worker uses it to stream `p:<stage>` markers to
+  /// the parent so crash records can name the phase; tests may use it to
+  /// observe progress. Not part of any fingerprint.
+  std::function<void(const std::string &)> StageHook;
 };
 
 /// One reported race, rendered with a content-derived fingerprint that is
@@ -138,8 +195,19 @@ struct RacerDRecord {
 struct JobResult {
   std::string Name;
   JobStatus Status = JobStatus::Clean;
-  std::string Phase; ///< Phase the deadline fired in (timeout only).
-  std::string Error; ///< Parse/verify/internal diagnostic.
+  std::string Phase;  ///< Phase the deadline fired in (timeout), or the
+                      ///< last stage a crashed worker reported entering.
+  std::string Error;  ///< Parse/verify/internal/crash diagnostic.
+  std::string Signal; ///< Crashed only: "SIGSEGV", "SIGKILL", ...
+
+  /// True when this result came from the degraded-fallback re-run (the
+  /// original attempt timed out or OOMed); DegradedConfigFP is the
+  /// fallback configuration's analysis-set fingerprint.
+  bool Degraded = false;
+  uint64_t DegradedConfigFP = 0;
+
+  /// How many extra attempts the retry policy spent before this result.
+  unsigned Retries = 0;
 
   /// Which analyses this job was asked to run; selects the JSONL
   /// sections. Overlaid from the request (never cached).
@@ -213,6 +281,25 @@ JobResult runOneJob(const JobSpec &Spec, const BatchOptions &Opts = {});
 /// report-deterministic for any pool.
 JobResult runOneJob(const JobSpec &Spec, const BatchOptions &Opts,
                     ThreadPool *SharedPool);
+
+/// Runs one spec in a forked sandboxed worker (fork + result pipe): the
+/// child applies the --mem-limit-mb address-space cap, streams stage
+/// markers, runs runOneJob, and writes the serialized result back; the
+/// parent enforces the hard-kill escalation and classifies worker death
+/// (signal -> Crashed with signal name + last stage, cap overrun -> OOM,
+/// silent exit -> Crashed). On platforms without fork this falls back to
+/// runOneJob. Used by runBatch under IsolationMode::Process; exposed for
+/// tests.
+JobResult runOneJobIsolated(const JobSpec &Spec, const BatchOptions &Opts);
+
+/// The full containment policy around one job: isolated or in-process
+/// execution per Opts.Isolate, bounded retry-with-backoff for Crashed /
+/// OOM / InternalError outcomes, then the sound degraded-mode fallback
+/// for Timeout / OOM (one re-run, context-insensitive PTA, tagged
+/// degraded + never cached). This is what each runBatch pool worker
+/// executes.
+JobResult runJobContained(const JobSpec &Spec, const BatchOptions &Opts,
+                          ThreadPool *SharedPool = nullptr);
 
 /// Baseline for diff mode: module name -> race fingerprints, recovered
 /// from a previous JSONL report.

@@ -24,7 +24,9 @@
 /// Robustness contract: a corrupt, truncated, version-skewed, or
 /// checksum-mismatched entry degrades to a cache miss, never an error —
 /// the job simply runs cold and overwrites the entry. Only terminal
-/// Clean/Races results are stored; timeouts and errors always re-run.
+/// Clean/Races results from the *requested* configuration are stored:
+/// timeouts, errors, crash records, and degraded-fallback results always
+/// re-run (store() enforces this, lookup() re-checks it on replay).
 /// Writes are atomic (temp file + rename), so concurrent fleets sharing
 /// one directory at worst redo work.
 ///
@@ -51,7 +53,9 @@ public:
   static uint64_t contentHash(const std::string &ModuleText);
 
   /// Bump when the serialized JobResult layout changes.
-  static constexpr uint32_t FormatVersion = 1;
+  /// 2: shared wire format with the worker pipe — adds signal, degraded,
+  ///    fallback fingerprint, and retry fields.
+  static constexpr uint32_t FormatVersion = 2;
 
   /// Loads the entry for (ContentHash, ConfigFP) into \p Out. Returns
   /// false — and leaves \p Out untouched — on absence or any form of
@@ -59,9 +63,10 @@ public:
   /// current spec's name (the same content may live under many names).
   bool lookup(uint64_t ContentHash, uint64_t ConfigFP, JobResult &Out) const;
 
-  /// Serializes \p R under (ContentHash, ConfigFP). Callers must only
-  /// pass Clean/Races results. Failures (unwritable directory, full
-  /// disk) are silently ignored — the cache is an optimization.
+  /// Serializes \p R under (ContentHash, ConfigFP). Refuses anything
+  /// but an undegraded Clean/Races result. Failures (unwritable
+  /// directory, full disk) are silently ignored — the cache is an
+  /// optimization.
   void store(uint64_t ContentHash, uint64_t ConfigFP,
              const JobResult &R) const;
 

@@ -180,6 +180,12 @@ public:
   /// partial and not schedule-independent).
   bool cancelled() const { return Cancelled; }
 
+  /// True if the module has no main() entry point. The verifier reports
+  /// this as a verify-error up front; callers that skip verification get
+  /// an empty (trivially sound: nothing executes) result with the
+  /// "pta.no-entry" counter set instead of tripping an assert.
+  bool entryMissing() const { return EntryMissing; }
+
   /// Renders a context for diagnostics, e.g. "[O1,O3]".
   std::string ctxToString(Ctx C) const;
 
@@ -221,6 +227,7 @@ private:
   StatisticRegistry Stats;
   bool HitBudget = false;
   bool Cancelled = false;
+  bool EntryMissing = false;
 };
 
 /// Runs the pointer analysis over \p M (starting at main()) with the given

@@ -160,10 +160,16 @@ public:
   /// threads/events).
   bool cancelled() const { return Cancelled; }
 
+  /// True if the module has no main() entry point: the graph is empty
+  /// (no threads — nothing executes, so no races). The verifier catches
+  /// this up front; the flag exists for callers that skip verification.
+  bool entryMissing() const { return EntryMissing; }
+
 private:
   friend class SHBBuilder;
 
   bool Cancelled = false;
+  bool EntryMissing = false;
   std::vector<ThreadInfo> Threads;
   InternTable Locksets;
   mutable std::unordered_map<uint64_t, bool> IntersectCache;

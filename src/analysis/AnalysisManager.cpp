@@ -8,6 +8,7 @@
 
 #include "o2/Analysis/AnalysisManager.h"
 
+#include "o2/Support/FaultInjector.h"
 #include "o2/Support/JSONWriter.h"
 #include "o2/Support/OutputStream.h"
 #include "o2/Support/Timer.h"
@@ -306,6 +307,21 @@ void AnalysisManager::ensure(O2Phase K) {
 }
 
 void AnalysisManager::runPass(O2Phase K) {
+  if (K == O2Phase::None)
+    return;
+  // Announce the pass before anything (including an injected fault) can
+  // kill it, so crash records name the right phase.
+  if (Config.OnPassStart)
+    Config.OnPassStart(K);
+  {
+    // "pass.pta" ... "pass.escape": one named fault point per pass.
+    static const std::array<const char *, NumO2Phases> FaultPoint = {
+        "",          "pass.pta",      "pass.osa",      "pass.shb",
+        "pass.hbindex", "pass.race",  "pass.deadlock", "pass.oversync",
+        "pass.racerd", "pass.escape",
+    };
+    FaultInjector::hit(FaultPoint[idx(K)]);
+  }
   ++P->Invocations[idx(K)];
   Timer T;
   bool PassCancelled = false;

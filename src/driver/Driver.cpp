@@ -13,15 +13,18 @@
 #include "o2/IR/Printer.h"
 #include "o2/IR/Verifier.h"
 #include "o2/Support/Casting.h"
+#include "o2/Support/FaultInjector.h"
 #include "o2/Support/JSONWriter.h"
 #include "o2/Support/OutputStream.h"
 #include "o2/Support/ThreadPool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string_view>
+#include <thread>
 
 using namespace o2;
 
@@ -39,6 +42,10 @@ const char *o2::jobStatusName(JobStatus S) {
     return "verify-error";
   case JobStatus::InternalError:
     return "internal-error";
+  case JobStatus::Crashed:
+    return "crashed";
+  case JobStatus::OOM:
+    return "oom";
   }
   return "unknown";
 }
@@ -53,6 +60,8 @@ int o2::exitCodeFor(JobStatus S) {
   case JobStatus::ParseError:
   case JobStatus::VerifyError:
   case JobStatus::InternalError:
+  case JobStatus::Crashed:
+  case JobStatus::OOM:
     return ExitError;
   }
   return ExitError;
@@ -168,11 +177,51 @@ JobResult o2::runOneJob(const JobSpec &Spec, const BatchOptions &Opts,
   JobResult R;
   R.Name = Spec.Name;
   R.Analyses = Opts.Analyses;
+
+  // @module-scoped fault specs count only this job's hits, which keeps
+  // injected faults deterministic at any --jobs=N.
+  FaultInjector::JobScope FaultScope(Spec.Name);
+
+  // Worker-side progress markers; also tracked locally so error records
+  // can name the stage the job was in.
+  std::string LastStage;
+  auto Stage = [&Opts, &LastStage](const char *S) {
+    LastStage = S;
+    if (Opts.StageHook)
+      Opts.StageHook(S);
+  };
+  Stage("setup");
+
   ResultCache Cache(Opts.CacheDir);
   bool HaveKey = false;
   uint64_t ContentHash = 0, ConfigFP = 0;
+
+  // Hoisted out of the try so the catch blocks can harvest partial
+  // timings and statistics (declaration order matters: AM borrows M, so
+  // AM must be destroyed first).
+  std::unique_ptr<Module> M;
+  std::unique_ptr<AnalysisManager> AM;
+  auto Harvest = [&R, &AM] {
+    if (!AM)
+      return;
+    try {
+      R.PTAMs = AM->seconds(O2Phase::PTA) * 1000.0;
+      R.OSAMs = AM->seconds(O2Phase::OSA) * 1000.0;
+      R.SHBMs = AM->seconds(O2Phase::SHB) * 1000.0;
+      R.HBIndexMs = AM->seconds(O2Phase::HBIndex) * 1000.0;
+      R.DetectMs = AM->seconds(O2Phase::Detect) * 1000.0;
+      R.DeadlockMs = AM->seconds(O2Phase::Deadlock) * 1000.0;
+      R.OverSyncMs = AM->seconds(O2Phase::OverSync) * 1000.0;
+      R.RacerDMs = AM->seconds(O2Phase::RacerD) * 1000.0;
+      R.EscapeMs = AM->seconds(O2Phase::Escape) * 1000.0;
+      R.Stats = AM->stats();
+    } catch (...) {
+      // Partial telemetry is best-effort; the status already tells the
+      // story.
+    }
+  };
+
   try {
-    std::unique_ptr<Module> M;
     std::string Source;
     if (!Spec.Profile) {
       Source = Spec.Source;
@@ -212,6 +261,8 @@ JobResult o2::runOneJob(const JobSpec &Spec, const BatchOptions &Opts,
     }
 
     if (!M) {
+      Stage("parse");
+      FaultInjector::hit("parse");
       if (Spec.Profile) {
         M = generateWorkload(*Spec.Profile);
       } else {
@@ -226,6 +277,7 @@ JobResult o2::runOneJob(const JobSpec &Spec, const BatchOptions &Opts,
       }
     }
 
+    Stage("verify");
     std::vector<std::string> Errors;
     if (!verifyModule(*M, Errors)) {
       R.Status = JobStatus::VerifyError;
@@ -247,27 +299,23 @@ JobResult o2::runOneJob(const JobSpec &Spec, const BatchOptions &Opts,
     } else {
       Cfg.Cancel = nullptr;
     }
+    // Stream each pass's start to the progress hook so a crash mid-pass
+    // can be attributed to it (the isolated worker forwards these as
+    // pipe markers).
+    Cfg.OnPassStart = [&Stage](O2Phase Ph) { Stage(phaseName(Ph)); };
 
     // One manager per job: the requested detectors all read the same
     // PTA/SHB/HBIndex results, computed once.
-    AnalysisManager AM(*M, Cfg);
-    AM.run(Opts.Analyses);
-    R.PTAMs = AM.seconds(O2Phase::PTA) * 1000.0;
-    R.OSAMs = AM.seconds(O2Phase::OSA) * 1000.0;
-    R.SHBMs = AM.seconds(O2Phase::SHB) * 1000.0;
-    R.HBIndexMs = AM.seconds(O2Phase::HBIndex) * 1000.0;
-    R.DetectMs = AM.seconds(O2Phase::Detect) * 1000.0;
-    R.DeadlockMs = AM.seconds(O2Phase::Deadlock) * 1000.0;
-    R.OverSyncMs = AM.seconds(O2Phase::OverSync) * 1000.0;
-    R.RacerDMs = AM.seconds(O2Phase::RacerD) * 1000.0;
-    R.EscapeMs = AM.seconds(O2Phase::Escape) * 1000.0;
-    R.Stats = AM.stats();
+    FaultInjector::hit("alloc");
+    AM = std::make_unique<AnalysisManager>(*M, Cfg);
+    AM->run(Opts.Analyses);
+    Harvest();
 
-    if (AM.ran(O2Phase::Detect))
-      for (const Race &Rc : AM.getRaces().races())
-        R.Races.push_back(makeRaceRecord(Rc, AM.getPTA()));
-    if (AM.ran(O2Phase::Deadlock))
-      for (const DeadlockCycle &C : AM.getDeadlocks().cycles()) {
+    if (AM->ran(O2Phase::Detect))
+      for (const Race &Rc : AM->getRaces().races())
+        R.Races.push_back(makeRaceRecord(Rc, AM->getPTA()));
+    if (AM->ran(O2Phase::Deadlock))
+      for (const DeadlockCycle &C : AM->getDeadlocks().cycles()) {
         DeadlockRecord D;
         for (uint32_t L : C.Locks) {
           if (!D.Locks.empty())
@@ -282,8 +330,8 @@ JobResult o2::runOneJob(const JobSpec &Spec, const BatchOptions &Opts,
               "'");
         R.Deadlocks.push_back(std::move(D));
       }
-    if (AM.ran(O2Phase::OverSync))
-      for (const OverSyncRegion &Reg : AM.getOverSync().regions()) {
+    if (AM->ran(O2Phase::OverSync))
+      for (const OverSyncRegion &Reg : AM->getOverSync().regions()) {
         OverSyncRecord O;
         if (Reg.Acquire) {
           O.Stmt = printStmt(*Reg.Acquire);
@@ -293,8 +341,8 @@ JobResult o2::runOneJob(const JobSpec &Spec, const BatchOptions &Opts,
         O.NumAccesses = Reg.NumAccesses;
         R.OverSyncs.push_back(std::move(O));
       }
-    if (AM.ran(O2Phase::RacerD))
-      for (const RacerDWarning &W : AM.getRacerD().warnings()) {
+    if (AM->ran(O2Phase::RacerD))
+      for (const RacerDWarning &W : AM->getRacerD().warnings()) {
         RacerDRecord Rw;
         Rw.Kind = W.WarningKind == RacerDWarning::Kind::ReadWriteRace
                       ? "read-write"
@@ -306,22 +354,101 @@ JobResult o2::runOneJob(const JobSpec &Spec, const BatchOptions &Opts,
         R.RacerDWarnings.push_back(std::move(Rw));
       }
 
-    if (AM.cancelled()) {
+    if (AM->cancelled()) {
       R.Status = JobStatus::Timeout;
-      R.Phase = phaseName(AM.cancelledIn());
+      R.Phase = phaseName(AM->cancelledIn());
     } else {
       R.Status = R.Races.empty() ? JobStatus::Clean : JobStatus::Races;
       // Only settled results are worth replaying; timeouts and errors
-      // must re-run on the next fleet.
+      // must re-run on the next fleet (store() also refuses anything
+      // else, including degraded results).
       if (HaveKey)
         Cache.store(ContentHash, ConfigFP, R);
     }
+  } catch (const std::bad_alloc &) {
+    // Allocation failure is its own status: under a --mem-limit-mb cap
+    // this *is* the OOM record, and in-process it tells the operator to
+    // re-run with --degrade or more memory rather than chase a bug.
+    R.Status = JobStatus::OOM;
+    R.Error = "out of memory";
+    R.Phase = LastStage;
+    Harvest();
   } catch (const std::exception &E) {
     R.Status = JobStatus::InternalError;
     R.Error = E.what();
+    R.Phase = LastStage;
+    Harvest();
   } catch (...) {
     R.Status = JobStatus::InternalError;
     R.Error = "unknown exception";
+    R.Phase = LastStage;
+    Harvest();
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Containment policy: retry + sound degradation
+//===----------------------------------------------------------------------===//
+
+/// The degraded-fallback configuration: cheaper but still *sound*.
+/// Context-insensitive points-to is a strict over-approximation of
+/// origin-sensitive points-to (merging contexts only adds may-alias
+/// facts), so every real race remains reported — the fallback trades
+/// precision (more false positives), never recall. The race-pair budget
+/// also gets slack so the cheaper abstraction is less likely to trip it.
+static O2Config degradedConfigFor(const O2Config &Cfg) {
+  O2Config D = Cfg;
+  D.PTA.Kind = ContextKind::Insensitive;
+  if (D.Detector.MaxPairChecks != ~uint64_t(0))
+    D.Detector.MaxPairChecks *= 4;
+  return D;
+}
+
+JobResult o2::runJobContained(const JobSpec &Spec, const BatchOptions &Opts,
+                              ThreadPool *SharedPool) {
+  auto Attempt = [&Spec, SharedPool](const BatchOptions &O) {
+    return O.Isolate == IsolationMode::Process
+               ? runOneJobIsolated(Spec, O)
+               : runOneJob(Spec, O, SharedPool);
+  };
+  auto Transient = [](JobStatus S) {
+    return S == JobStatus::Crashed || S == JobStatus::OOM ||
+           S == JobStatus::InternalError;
+  };
+
+  JobResult R = Attempt(Opts);
+
+  // Bounded retry with exponential backoff: crashes, OOMs, and internal
+  // errors may be environmental (a flaky machine, a cache race, memory
+  // pressure from a sibling). Deterministic failures simply fail
+  // Retries more times and report the same record.
+  uint64_t Backoff = Opts.RetryBackoffMs;
+  for (unsigned N = 1; N <= Opts.Retries && Transient(R.Status); ++N) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(Backoff));
+    Backoff = std::min<uint64_t>(Backoff * 2, 2000);
+    JobResult Again = Attempt(Opts);
+    Again.Retries = N;
+    R = std::move(Again);
+  }
+
+  // Sound graceful degradation: a resource-exhausted job (deadline or
+  // memory) gets one re-run under the cheaper configuration. Only a
+  // *terminal* degraded result replaces the original record, and it is
+  // never cached (the attempt below runs cache-less).
+  if (Opts.Degrade &&
+      (R.Status == JobStatus::Timeout || R.Status == JobStatus::OOM)) {
+    BatchOptions Fallback = Opts;
+    Fallback.Config = degradedConfigFor(Opts.Config);
+    Fallback.CacheDir.clear();
+    JobResult D = Attempt(Fallback);
+    if (D.Status == JobStatus::Clean || D.Status == JobStatus::Races) {
+      D.Degraded = true;
+      D.DegradedConfigFP =
+          analysisSetFingerprint(Opts.Analyses, Fallback.Config);
+      D.Retries = R.Retries;
+      R = std::move(D);
+    }
   }
   return R;
 }
@@ -339,7 +466,7 @@ BatchResult o2::runBatch(const std::vector<JobSpec> &Specs,
         // Jobs lend the batch pool to their parallel race engine, so a
         // lone huge module at the tail of the corpus fans out over the
         // workers the finished jobs freed up.
-        R.Jobs[I] = runOneJob(Specs[I], Opts, &Pool);
+        R.Jobs[I] = runJobContained(Specs[I], Opts, &Pool);
       });
     Pool.wait();
   }
@@ -349,11 +476,15 @@ BatchResult o2::runBatch(const std::vector<JobSpec> &Specs,
       R.Jobs.begin(), R.Jobs.end(),
       [](const JobResult &A, const JobResult &B) { return A.Name < B.Name; });
 
-  uint64_t TotalRaces = 0;
+  uint64_t TotalRaces = 0, NumDegraded = 0, NumRetried = 0;
   for (const JobResult &J : R.Jobs) {
     R.Summary.add(std::string("jobs.") + jobStatusName(J.Status));
     R.Summary.merge(J.Stats);
     TotalRaces += J.Races.size();
+    if (J.Degraded)
+      ++NumDegraded;
+    if (J.Retries)
+      ++NumRetried;
     // Cache telemetry stays out of Summary: the summary is printed into
     // the JSONL aggregate record, which must be byte-identical between
     // cold and warm runs.
@@ -364,6 +495,10 @@ BatchResult o2::runBatch(const std::vector<JobSpec> &Specs,
   }
   R.Summary.set("jobs.total", R.Jobs.size());
   R.Summary.set("races.total", TotalRaces);
+  if (NumDegraded)
+    R.Summary.set("jobs.degraded", NumDegraded);
+  if (NumRetried)
+    R.Summary.set("jobs.retried", NumRetried);
   return R;
 }
 
@@ -485,6 +620,14 @@ void o2::printJSONL(const BatchResult &R, OutputStream &OS,
       W.attribute("phase", J.Phase);
     if (!J.Error.empty())
       W.attribute("error", J.Error);
+    if (!J.Signal.empty())
+      W.attribute("signal", J.Signal);
+    if (J.Degraded) {
+      W.attribute("degraded", true);
+      W.attribute("degraded-config", toHex16(J.DegradedConfigFP));
+    }
+    if (J.Retries)
+      W.attribute("retries", uint64_t(J.Retries));
     if (IncludeTimings) {
       W.attribute("time.pta-ms", J.PTAMs);
       W.attribute("time.osa-ms", J.OSAMs);
@@ -601,6 +744,16 @@ void o2::printBatchSummary(const BatchResult &R, OutputStream &OS) {
       OS << " (" << uint64_t(J.Races.size()) << ")";
     if (J.Status == JobStatus::Timeout)
       OS << " (in " << J.Phase << ")";
+    if (J.Status == JobStatus::Crashed) {
+      OS << " (" << (J.Signal.empty() ? "?" : J.Signal.c_str());
+      if (!J.Phase.empty())
+        OS << " in " << J.Phase;
+      OS << ")";
+    }
+    if (J.Degraded)
+      OS << " [degraded]";
+    if (J.Retries)
+      OS << " [retries: " << uint64_t(J.Retries) << "]";
     if (!J.Error.empty())
       OS << ": " << J.Error;
     OS << '\n';
@@ -640,6 +793,29 @@ static void printBatchUsage(OutputStream &OS) {
         "records\n"
      << "  --deadline-ms=N   per-job analysis budget; overruns become "
         "'timeout' records\n"
+     << "  --isolate=M       job containment: none (default) or process "
+        "(one forked\n"
+     << "                    sandboxed worker per job; crashes become "
+        "'crashed' records)\n"
+     << "  --mem-limit-mb=N  worker address-space cap (process isolation); "
+        "overruns\n"
+     << "                    become 'oom' records\n"
+     << "  --kill-after-ms=N hard SIGTERM->SIGKILL for stuck workers "
+        "(default: derived\n"
+     << "                    from --deadline-ms)\n"
+     << "  --retries=N       re-attempt crashed/oom/internal-error jobs up "
+        "to N times\n"
+     << "                    with exponential backoff\n"
+     << "  --retry-backoff-ms=N  first retry backoff (default: 50, doubles, "
+        "caps at 2s)\n"
+     << "  --degrade         re-run timeout/oom jobs once under a cheaper, "
+        "still-sound\n"
+     << "                    config (0-ctx PTA); results are tagged "
+        "degraded:true\n"
+     << "  --inject-fault=S  arm a deterministic fault, "
+        "point[@module]:nth[:action]\n"
+     << "                    (testing; see --fault-points)\n"
+     << "  --fault-points    list the named fault points and exit\n"
      << "  --out=FILE        write the JSONL report to FILE (default: "
         "stdout)\n"
      << "  --baseline=FILE   diff against a previous JSONL report "
@@ -689,6 +865,36 @@ int o2::runBatchCommand(const std::vector<std::string> &Args) {
       Opts.CacheDir = Value();
     } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
       Opts.DeadlineMs = std::strtoull(Value().c_str(), nullptr, 10);
+    } else if (Arg.rfind("--isolate=", 0) == 0) {
+      std::string V = Value();
+      if (V == "process")
+        Opts.Isolate = IsolationMode::Process;
+      else if (V == "none" || V == "in-process")
+        Opts.Isolate = IsolationMode::InProcess;
+      else {
+        errs() << "o2batch: unknown isolation mode '" << V << "'\n";
+        return ExitError;
+      }
+    } else if (Arg.rfind("--mem-limit-mb=", 0) == 0) {
+      Opts.MemLimitMB = std::strtoull(Value().c_str(), nullptr, 10);
+    } else if (Arg.rfind("--kill-after-ms=", 0) == 0) {
+      Opts.HardKillMs = std::strtoull(Value().c_str(), nullptr, 10);
+    } else if (Arg.rfind("--retries=", 0) == 0) {
+      Opts.Retries = unsigned(std::strtoul(Value().c_str(), nullptr, 10));
+    } else if (Arg.rfind("--retry-backoff-ms=", 0) == 0) {
+      Opts.RetryBackoffMs = std::strtoull(Value().c_str(), nullptr, 10);
+    } else if (Arg == "--degrade") {
+      Opts.Degrade = true;
+    } else if (Arg.rfind("--inject-fault=", 0) == 0) {
+      std::string Err;
+      if (!FaultInjector::instance().armFromSpec(Value(), Err)) {
+        errs() << "o2batch: " << Err << "\n";
+        return ExitError;
+      }
+    } else if (Arg == "--fault-points") {
+      for (const FaultPointInfo &P : FaultInjector::catalogue())
+        outs() << P.Name << "  (" << P.Where << ")\n";
+      return ExitClean;
     } else if (Arg == "--timings") {
       Opts.IncludeTimings = true;
     } else if (Arg.rfind("--out=", 0) == 0) {

@@ -1,0 +1,262 @@
+//===- JobWire.cpp - JobResult wire serialization -------------------------===//
+//
+// Part of the O2 project, an implementation of the PLDI 2021 paper
+// "When Threads Meet Events: Efficient and Precise Static Race Detection
+// with Origins".
+//
+//===----------------------------------------------------------------------===//
+
+#include "JobWire.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace o2;
+
+namespace {
+
+class FieldWriter {
+public:
+  void put(std::string_view S) {
+    Out += std::to_string(S.size());
+    Out += ':';
+    Out += S;
+    Out += ',';
+  }
+  void putU64(uint64_t V) { put(std::to_string(V)); }
+  void putDouble(double V) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+    put(Buf);
+  }
+  std::string take() { return std::move(Out); }
+
+private:
+  std::string Out;
+};
+
+class FieldReader {
+public:
+  explicit FieldReader(std::string_view Data) : Data(Data) {}
+
+  bool get(std::string &Out) {
+    size_t Colon = Data.find(':', Pos);
+    if (Colon == std::string_view::npos || Colon == Pos ||
+        Colon - Pos > 19)
+      return fail();
+    uint64_t Len = 0;
+    for (size_t I = Pos; I < Colon; ++I) {
+      if (Data[I] < '0' || Data[I] > '9')
+        return fail();
+      Len = Len * 10 + uint64_t(Data[I] - '0');
+    }
+    size_t Start = Colon + 1;
+    // Overflow-safe: Len may be a corrupt 19-digit value.
+    if (Start >= Data.size() || Len >= Data.size() - Start ||
+        Data[Start + Len] != ',')
+      return fail();
+    Out.assign(Data.data() + Start, Len);
+    Pos = Start + Len + 1;
+    return true;
+  }
+
+  bool getU64(uint64_t &V) {
+    std::string S;
+    if (!get(S) || S.empty())
+      return fail();
+    char *End = nullptr;
+    V = std::strtoull(S.c_str(), &End, 10);
+    return *End == '\0' || fail();
+  }
+
+  bool getDouble(double &V) {
+    std::string S;
+    if (!get(S) || S.empty())
+      return fail();
+    char *End = nullptr;
+    V = std::strtod(S.c_str(), &End);
+    return *End == '\0' || fail();
+  }
+
+  bool ok() const { return Ok; }
+  bool atEnd() const { return Pos == Data.size(); }
+
+private:
+  bool fail() {
+    Ok = false;
+    return false;
+  }
+
+  std::string_view Data;
+  size_t Pos = 0;
+  bool Ok = true;
+};
+
+/// A sane upper bound on serialized list lengths: a deliberately corrupt
+/// length field must not turn into a multi-gigabyte allocation.
+constexpr uint64_t MaxListLen = 1u << 24;
+
+const JobStatus AllStatuses[] = {
+    JobStatus::Clean,       JobStatus::Races,         JobStatus::Timeout,
+    JobStatus::ParseError,  JobStatus::VerifyError,   JobStatus::InternalError,
+    JobStatus::Crashed,     JobStatus::OOM,
+};
+
+} // namespace
+
+std::string wire::serializeJobResult(const JobResult &R) {
+  FieldWriter W;
+  W.put(jobStatusName(R.Status));
+  W.put(R.Phase);
+  W.put(R.Error);
+  W.put(R.Signal);
+  W.putU64(R.Degraded ? 1 : 0);
+  W.putU64(R.DegradedConfigFP);
+  W.putU64(R.Retries);
+  W.putU64(uint64_t(R.Cache));
+  W.putDouble(R.PTAMs);
+  W.putDouble(R.OSAMs);
+  W.putDouble(R.SHBMs);
+  W.putDouble(R.HBIndexMs);
+  W.putDouble(R.DetectMs);
+  W.putDouble(R.DeadlockMs);
+  W.putDouble(R.OverSyncMs);
+  W.putDouble(R.RacerDMs);
+  W.putDouble(R.EscapeMs);
+
+  const auto &Counters = R.Stats.counters();
+  W.putU64(Counters.size());
+  for (const auto &[Name, Value] : Counters) {
+    W.put(Name);
+    W.putU64(Value);
+  }
+
+  W.putU64(R.Races.size());
+  for (const RaceRecord &Rc : R.Races) {
+    W.put(Rc.Fingerprint);
+    W.put(Rc.Location);
+    W.put(Rc.StmtA);
+    W.put(Rc.FuncA);
+    W.putU64(Rc.WriteA);
+    W.put(Rc.StmtB);
+    W.put(Rc.FuncB);
+    W.putU64(Rc.WriteB);
+  }
+
+  W.putU64(R.Deadlocks.size());
+  for (const DeadlockRecord &D : R.Deadlocks) {
+    W.put(D.Locks);
+    W.putU64(D.Witnesses.size());
+    for (const std::string &Wit : D.Witnesses)
+      W.put(Wit);
+  }
+
+  W.putU64(R.OverSyncs.size());
+  for (const OverSyncRecord &O : R.OverSyncs) {
+    W.put(O.Stmt);
+    W.put(O.Function);
+    W.putU64(O.Thread);
+    W.putU64(O.NumAccesses);
+  }
+
+  W.putU64(R.RacerDWarnings.size());
+  for (const RacerDRecord &Rw : R.RacerDWarnings) {
+    W.put(Rw.Kind);
+    W.put(Rw.Location);
+    W.put(Rw.First);
+    W.put(Rw.Second);
+  }
+  return W.take();
+}
+
+bool wire::deserializeJobResult(std::string_view Payload, JobResult &R) {
+  FieldReader Rd(Payload);
+
+  std::string Status;
+  if (!Rd.get(Status))
+    return false;
+  bool Known = false;
+  for (JobStatus S : AllStatuses)
+    if (Status == jobStatusName(S)) {
+      R.Status = S;
+      Known = true;
+    }
+  if (!Known)
+    return false;
+
+  uint64_t Degraded = 0, DegradedFP = 0, Retries = 0, Cache = 0;
+  if (!Rd.get(R.Phase) || !Rd.get(R.Error) || !Rd.get(R.Signal) ||
+      !Rd.getU64(Degraded) || !Rd.getU64(DegradedFP) ||
+      !Rd.getU64(Retries) || !Rd.getU64(Cache) || Cache > 2)
+    return false;
+  R.Degraded = Degraded != 0;
+  R.DegradedConfigFP = DegradedFP;
+  R.Retries = unsigned(Retries);
+  R.Cache = JobResult::CacheOutcome(Cache);
+
+  if (!Rd.getDouble(R.PTAMs) || !Rd.getDouble(R.OSAMs) ||
+      !Rd.getDouble(R.SHBMs) || !Rd.getDouble(R.HBIndexMs) ||
+      !Rd.getDouble(R.DetectMs) || !Rd.getDouble(R.DeadlockMs) ||
+      !Rd.getDouble(R.OverSyncMs) || !Rd.getDouble(R.RacerDMs) ||
+      !Rd.getDouble(R.EscapeMs))
+    return false;
+
+  uint64_t N = 0;
+  if (!Rd.getU64(N) || N > MaxListLen)
+    return false;
+  for (uint64_t I = 0; I < N; ++I) {
+    std::string Name;
+    uint64_t Value = 0;
+    if (!Rd.get(Name) || !Rd.getU64(Value))
+      return false;
+    R.Stats.set(Name, Value);
+  }
+
+  if (!Rd.getU64(N) || N > MaxListLen)
+    return false;
+  R.Races.resize(N);
+  for (RaceRecord &Rc : R.Races) {
+    uint64_t WA = 0, WB = 0;
+    if (!Rd.get(Rc.Fingerprint) || !Rd.get(Rc.Location) ||
+        !Rd.get(Rc.StmtA) || !Rd.get(Rc.FuncA) || !Rd.getU64(WA) ||
+        !Rd.get(Rc.StmtB) || !Rd.get(Rc.FuncB) || !Rd.getU64(WB))
+      return false;
+    Rc.WriteA = WA != 0;
+    Rc.WriteB = WB != 0;
+  }
+
+  if (!Rd.getU64(N) || N > MaxListLen)
+    return false;
+  R.Deadlocks.resize(N);
+  for (DeadlockRecord &D : R.Deadlocks) {
+    uint64_t NumWit = 0;
+    if (!Rd.get(D.Locks) || !Rd.getU64(NumWit) || NumWit > MaxListLen)
+      return false;
+    D.Witnesses.resize(NumWit);
+    for (std::string &Wit : D.Witnesses)
+      if (!Rd.get(Wit))
+        return false;
+  }
+
+  if (!Rd.getU64(N) || N > MaxListLen)
+    return false;
+  R.OverSyncs.resize(N);
+  for (OverSyncRecord &O : R.OverSyncs) {
+    uint64_t Thread = 0, Accesses = 0;
+    if (!Rd.get(O.Stmt) || !Rd.get(O.Function) || !Rd.getU64(Thread) ||
+        !Rd.getU64(Accesses))
+      return false;
+    O.Thread = unsigned(Thread);
+    O.NumAccesses = unsigned(Accesses);
+  }
+
+  if (!Rd.getU64(N) || N > MaxListLen)
+    return false;
+  R.RacerDWarnings.resize(N);
+  for (RacerDRecord &Rw : R.RacerDWarnings)
+    if (!Rd.get(Rw.Kind) || !Rd.get(Rw.Location) || !Rd.get(Rw.First) ||
+        !Rd.get(Rw.Second))
+      return false;
+
+  return Rd.ok() && Rd.atEnd();
+}

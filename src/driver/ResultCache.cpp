@@ -8,9 +8,11 @@
 
 #include "o2/Driver/ResultCache.h"
 
+#include "JobWire.h"
+#include "o2/Support/FaultInjector.h"
+
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <string_view>
 
@@ -32,234 +34,6 @@ std::string toHex16(uint64_t V) {
   for (int I = 15; I >= 0; --I, V >>= 4)
     Out[size_t(I)] = Hex[V & 0xf];
   return Out;
-}
-
-//===----------------------------------------------------------------------===//
-// Serialization: netstring-style length-prefixed fields. Every field —
-// strings, numbers, list lengths — is "<decimal length>:<bytes>," so the
-// reader never scans for separators inside values, and any truncation or
-// corruption fails a read instead of misparsing.
-//===----------------------------------------------------------------------===//
-
-class FieldWriter {
-public:
-  void put(std::string_view S) {
-    Out += std::to_string(S.size());
-    Out += ':';
-    Out += S;
-    Out += ',';
-  }
-  void putU64(uint64_t V) { put(std::to_string(V)); }
-  void putDouble(double V) {
-    char Buf[64];
-    std::snprintf(Buf, sizeof(Buf), "%.17g", V);
-    put(Buf);
-  }
-  const std::string &str() const { return Out; }
-
-private:
-  std::string Out;
-};
-
-class FieldReader {
-public:
-  explicit FieldReader(std::string_view Data) : Data(Data) {}
-
-  bool get(std::string &Out) {
-    size_t Colon = Data.find(':', Pos);
-    if (Colon == std::string_view::npos || Colon == Pos ||
-        Colon - Pos > 19)
-      return fail();
-    uint64_t Len = 0;
-    for (size_t I = Pos; I < Colon; ++I) {
-      if (Data[I] < '0' || Data[I] > '9')
-        return fail();
-      Len = Len * 10 + uint64_t(Data[I] - '0');
-    }
-    size_t Start = Colon + 1;
-    // Overflow-safe: Len may be a corrupt 19-digit value.
-    if (Start >= Data.size() || Len >= Data.size() - Start ||
-        Data[Start + Len] != ',')
-      return fail();
-    Out.assign(Data.data() + Start, Len);
-    Pos = Start + Len + 1;
-    return true;
-  }
-
-  bool getU64(uint64_t &V) {
-    std::string S;
-    if (!get(S) || S.empty())
-      return fail();
-    char *End = nullptr;
-    V = std::strtoull(S.c_str(), &End, 10);
-    return *End == '\0' || fail();
-  }
-
-  bool getDouble(double &V) {
-    std::string S;
-    if (!get(S) || S.empty())
-      return fail();
-    char *End = nullptr;
-    V = std::strtod(S.c_str(), &End);
-    return *End == '\0' || fail();
-  }
-
-  bool ok() const { return Ok; }
-  bool atEnd() const { return Pos == Data.size(); }
-
-private:
-  bool fail() {
-    Ok = false;
-    return false;
-  }
-
-  std::string_view Data;
-  size_t Pos = 0;
-  bool Ok = true;
-};
-
-/// A sane upper bound on serialized list lengths: a deliberately corrupt
-/// length field must not turn into a multi-gigabyte allocation.
-constexpr uint64_t MaxListLen = 1u << 24;
-
-void serializeJob(const JobResult &R, FieldWriter &W) {
-  W.put(jobStatusName(R.Status));
-  W.put(R.Phase);
-  W.put(R.Error);
-  W.putDouble(R.PTAMs);
-  W.putDouble(R.OSAMs);
-  W.putDouble(R.SHBMs);
-  W.putDouble(R.HBIndexMs);
-  W.putDouble(R.DetectMs);
-  W.putDouble(R.DeadlockMs);
-  W.putDouble(R.OverSyncMs);
-  W.putDouble(R.RacerDMs);
-  W.putDouble(R.EscapeMs);
-
-  const auto &Counters = R.Stats.counters();
-  W.putU64(Counters.size());
-  for (const auto &[Name, Value] : Counters) {
-    W.put(Name);
-    W.putU64(Value);
-  }
-
-  W.putU64(R.Races.size());
-  for (const RaceRecord &Rc : R.Races) {
-    W.put(Rc.Fingerprint);
-    W.put(Rc.Location);
-    W.put(Rc.StmtA);
-    W.put(Rc.FuncA);
-    W.putU64(Rc.WriteA);
-    W.put(Rc.StmtB);
-    W.put(Rc.FuncB);
-    W.putU64(Rc.WriteB);
-  }
-
-  W.putU64(R.Deadlocks.size());
-  for (const DeadlockRecord &D : R.Deadlocks) {
-    W.put(D.Locks);
-    W.putU64(D.Witnesses.size());
-    for (const std::string &Wit : D.Witnesses)
-      W.put(Wit);
-  }
-
-  W.putU64(R.OverSyncs.size());
-  for (const OverSyncRecord &O : R.OverSyncs) {
-    W.put(O.Stmt);
-    W.put(O.Function);
-    W.putU64(O.Thread);
-    W.putU64(O.NumAccesses);
-  }
-
-  W.putU64(R.RacerDWarnings.size());
-  for (const RacerDRecord &Rw : R.RacerDWarnings) {
-    W.put(Rw.Kind);
-    W.put(Rw.Location);
-    W.put(Rw.First);
-    W.put(Rw.Second);
-  }
-}
-
-bool deserializeJob(FieldReader &Rd, JobResult &R) {
-  std::string Status;
-  if (!Rd.get(Status))
-    return false;
-  bool Known = false;
-  for (JobStatus S : {JobStatus::Clean, JobStatus::Races})
-    if (Status == jobStatusName(S)) {
-      R.Status = S;
-      Known = true;
-    }
-  if (!Known) // only terminal success states are ever stored
-    return false;
-
-  if (!Rd.get(R.Phase) || !Rd.get(R.Error))
-    return false;
-  if (!Rd.getDouble(R.PTAMs) || !Rd.getDouble(R.OSAMs) ||
-      !Rd.getDouble(R.SHBMs) || !Rd.getDouble(R.HBIndexMs) ||
-      !Rd.getDouble(R.DetectMs) || !Rd.getDouble(R.DeadlockMs) ||
-      !Rd.getDouble(R.OverSyncMs) || !Rd.getDouble(R.RacerDMs) ||
-      !Rd.getDouble(R.EscapeMs))
-    return false;
-
-  uint64_t N = 0;
-  if (!Rd.getU64(N) || N > MaxListLen)
-    return false;
-  for (uint64_t I = 0; I < N; ++I) {
-    std::string Name;
-    uint64_t Value = 0;
-    if (!Rd.get(Name) || !Rd.getU64(Value))
-      return false;
-    R.Stats.set(Name, Value);
-  }
-
-  if (!Rd.getU64(N) || N > MaxListLen)
-    return false;
-  R.Races.resize(N);
-  for (RaceRecord &Rc : R.Races) {
-    uint64_t WA = 0, WB = 0;
-    if (!Rd.get(Rc.Fingerprint) || !Rd.get(Rc.Location) ||
-        !Rd.get(Rc.StmtA) || !Rd.get(Rc.FuncA) || !Rd.getU64(WA) ||
-        !Rd.get(Rc.StmtB) || !Rd.get(Rc.FuncB) || !Rd.getU64(WB))
-      return false;
-    Rc.WriteA = WA != 0;
-    Rc.WriteB = WB != 0;
-  }
-
-  if (!Rd.getU64(N) || N > MaxListLen)
-    return false;
-  R.Deadlocks.resize(N);
-  for (DeadlockRecord &D : R.Deadlocks) {
-    uint64_t NumWit = 0;
-    if (!Rd.get(D.Locks) || !Rd.getU64(NumWit) || NumWit > MaxListLen)
-      return false;
-    D.Witnesses.resize(NumWit);
-    for (std::string &Wit : D.Witnesses)
-      if (!Rd.get(Wit))
-        return false;
-  }
-
-  if (!Rd.getU64(N) || N > MaxListLen)
-    return false;
-  R.OverSyncs.resize(N);
-  for (OverSyncRecord &O : R.OverSyncs) {
-    uint64_t Thread = 0, Accesses = 0;
-    if (!Rd.get(O.Stmt) || !Rd.get(O.Function) || !Rd.getU64(Thread) ||
-        !Rd.getU64(Accesses))
-      return false;
-    O.Thread = unsigned(Thread);
-    O.NumAccesses = unsigned(Accesses);
-  }
-
-  if (!Rd.getU64(N) || N > MaxListLen)
-    return false;
-  R.RacerDWarnings.resize(N);
-  for (RacerDRecord &Rw : R.RacerDWarnings)
-    if (!Rd.get(Rw.Kind) || !Rd.get(Rw.Location) || !Rd.get(Rw.First) ||
-        !Rd.get(Rw.Second))
-      return false;
-
-  return Rd.ok() && Rd.atEnd();
 }
 
 std::string readFile(const std::string &Path, bool &Ok) {
@@ -291,59 +65,83 @@ bool ResultCache::lookup(uint64_t ContentHash, uint64_t ConfigFP,
                          JobResult &Out) const {
   if (!enabled())
     return false;
-  bool Ok = false;
-  std::string Content = readFile(entryPath(ContentHash, ConfigFP), Ok);
-  if (!Ok)
-    return false;
+  // Any failure below — IO, damage, or an injected cache.read fault —
+  // degrades to a miss: the cache must never turn into a job error.
+  try {
+    FaultInjector::hit("cache.read");
+    bool Ok = false;
+    std::string Content = readFile(entryPath(ContentHash, ConfigFP), Ok);
+    if (!Ok)
+      return false;
 
-  // Header line: "o2cache <format version> <payload checksum>".
-  size_t NL = Content.find('\n');
-  if (NL == std::string::npos)
-    return false;
-  std::string_view Header(Content.data(), NL);
-  std::string Expected =
-      "o2cache " + std::to_string(FormatVersion) + " ";
-  if (Header.size() != Expected.size() + 16 ||
-      Header.substr(0, Expected.size()) != Expected)
-    return false;
-  std::string_view Payload(Content.data() + NL + 1,
-                           Content.size() - NL - 1);
-  if (Header.substr(Expected.size()) != toHex16(fnv1a(Payload)))
-    return false;
+    // Header line: "o2cache <format version> <payload checksum>".
+    size_t NL = Content.find('\n');
+    if (NL == std::string::npos)
+      return false;
+    std::string_view Header(Content.data(), NL);
+    std::string Expected =
+        "o2cache " + std::to_string(FormatVersion) + " ";
+    if (Header.size() != Expected.size() + 16 ||
+        Header.substr(0, Expected.size()) != Expected)
+      return false;
+    std::string_view Payload(Content.data() + NL + 1,
+                             Content.size() - NL - 1);
+    if (Header.substr(Expected.size()) != toHex16(fnv1a(Payload)))
+      return false;
 
-  JobResult R;
-  FieldReader Rd(Payload);
-  if (!deserializeJob(Rd, R))
+    JobResult R;
+    if (!wire::deserializeJobResult(Payload, R))
+      return false;
+    // The wire format carries every status (the worker pipe needs that);
+    // the cache's contract is narrower. A foreign or hand-edited entry
+    // holding a non-terminal or degraded result is damage: miss.
+    if ((R.Status != JobStatus::Clean && R.Status != JobStatus::Races) ||
+        R.Degraded)
+      return false;
+    Out = std::move(R);
+    return true;
+  } catch (...) {
     return false;
-  Out = std::move(R);
-  return true;
+  }
 }
 
 void ResultCache::store(uint64_t ContentHash, uint64_t ConfigFP,
                         const JobResult &R) const {
   if (!enabled())
     return;
-  std::error_code EC;
-  std::filesystem::create_directories(Dir, EC);
-
-  FieldWriter W;
-  serializeJob(R, W);
-  std::string Content = "o2cache " + std::to_string(FormatVersion) + " " +
-                        toHex16(fnv1a(W.str())) + "\n" + W.str();
-
-  // Atomic publish: never expose a half-written entry, even to a
-  // concurrent fleet sharing the directory.
-  std::string Final = entryPath(ContentHash, ConfigFP);
-  std::string Tmp =
-      Final + ".tmp" + toHex16(fnv1a(std::to_string(uintptr_t(&W))));
-  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
-  if (!F)
+  // Never cache anything that must re-run: timeouts and errors (the
+  // pre-existing rule), crash records, and degraded-fallback results —
+  // a degraded answer is sound but cheaper than the requested config,
+  // and replaying it would silently pin the degradation forever.
+  if ((R.Status != JobStatus::Clean && R.Status != JobStatus::Races) ||
+      R.Degraded)
     return;
-  bool Ok = std::fwrite(Content.data(), 1, Content.size(), F) ==
-            Content.size();
-  Ok &= std::fclose(F) == 0;
-  if (Ok)
-    std::rename(Tmp.c_str(), Final.c_str());
-  else
-    std::remove(Tmp.c_str());
+  // The cache is an optimization: IO failures and injected cache.write
+  // faults are swallowed, the job's result is already in hand.
+  try {
+    FaultInjector::hit("cache.write");
+    std::error_code EC;
+    std::filesystem::create_directories(Dir, EC);
+
+    std::string Payload = wire::serializeJobResult(R);
+    std::string Content = "o2cache " + std::to_string(FormatVersion) + " " +
+                          toHex16(fnv1a(Payload)) + "\n" + Payload;
+
+    // Atomic publish: never expose a half-written entry, even to a
+    // concurrent fleet sharing the directory.
+    std::string Final = entryPath(ContentHash, ConfigFP);
+    std::string Tmp =
+        Final + ".tmp" + toHex16(fnv1a(std::to_string(uintptr_t(&Payload))));
+    std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+    if (!F)
+      return;
+    bool Ok = std::fwrite(Content.data(), 1, Content.size(), F) ==
+              Content.size();
+    Ok &= std::fclose(F) == 0;
+    if (Ok)
+      std::rename(Tmp.c_str(), Final.c_str());
+    else
+      std::remove(Tmp.c_str());
+  } catch (...) {
+  }
 }

@@ -98,7 +98,16 @@ public:
 
   std::unique_ptr<PTAResult> run() {
     const Function *Main = M.getMain();
-    assert(Main && "module must have a main() (run the verifier first)");
+    if (!Main) {
+      // The verifier reports a missing main() as a verify-error before
+      // any analysis runs; this path only triggers for callers that skip
+      // verification. An empty result is trivially sound — nothing
+      // executes — and beats aborting a release-build fleet.
+      R->EntryMissing = true;
+      finalizeStats();
+      R->Stats.set("pta.no-entry", 1);
+      return std::move(R);
+    }
     processFunction(Main, InternTable::Empty);
     do {
       propagate();

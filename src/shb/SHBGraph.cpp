@@ -159,7 +159,14 @@ public:
   SHBGraph build() {
     // Main thread.
     const Function *Main = PTA.module().getMain();
-    assert(Main && "module must have main()");
+    if (!Main) {
+      // Only reachable when the caller skipped verification (the
+      // verifier rejects main-less modules up front). An empty graph is
+      // sound — no threads means nothing executes and no races — and
+      // beats aborting a release-build fleet.
+      G.EntryMissing = true;
+      return std::move(G);
+    }
     G.Threads.emplace_back();
     G.Threads[0].Entry = Main;
     Queue.push_back(0);

@@ -15,12 +15,30 @@
 
 #include "o2/Driver/Driver.h"
 
+#include "o2/Driver/ResultCache.h"
 #include "o2/IR/Parser.h"
+#include "o2/Support/FaultInjector.h"
 #include "o2/Support/OutputStream.h"
 
 #include <filesystem>
 #include <fstream>
 #include <gtest/gtest.h>
+
+// Address sanitizer reserves terabytes of shadow address space, which is
+// incompatible with the RLIMIT_AS cap --mem-limit-mb installs, and it
+// intercepts SIGSEGV/abort with its own reporting exit path. The
+// affected cases are skipped or routed through sanitizer-proof actions
+// (SIGKILL) instead.
+#if defined(__SANITIZE_ADDRESS__)
+#define O2_UNDER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define O2_UNDER_ASAN 1
+#endif
+#endif
+#ifndef O2_UNDER_ASAN
+#define O2_UNDER_ASAN 0
+#endif
 
 using namespace o2;
 
@@ -302,6 +320,8 @@ TEST(DriverTest, ExitCodeConvention) {
   EXPECT_EQ(exitCodeFor(JobStatus::ParseError), ExitError);
   EXPECT_EQ(exitCodeFor(JobStatus::VerifyError), ExitError);
   EXPECT_EQ(exitCodeFor(JobStatus::InternalError), ExitError);
+  EXPECT_EQ(exitCodeFor(JobStatus::Crashed), ExitError);
+  EXPECT_EQ(exitCodeFor(JobStatus::OOM), ExitError);
 
   // Aggregate: the worst job wins.
   EXPECT_EQ(runBatch({sourceSpec("c", CleanProgram)}).exitCode(), ExitClean);
@@ -476,6 +496,362 @@ TEST(DriverTest, DeadlineTimeoutNamesAuxPhase) {
   BatchResult Again = runBatch({Spec}, Opts);
   EXPECT_EQ(Again.CacheHits, 0u);
   EXPECT_EQ(Again.Jobs[0].Status, JobStatus::Timeout);
+}
+
+//===----------------------------------------------------------------------===//
+// Crash containment: process isolation, fault injection, retries, and
+// sound degraded-mode fallback.
+//===----------------------------------------------------------------------===//
+
+/// Every containment test arms faults on the process-wide injector, so
+/// the fixture guarantees a clean slate on both sides.
+class ContainmentTest : public testing::Test {
+protected:
+  void SetUp() override { FaultInjector::instance().disarm(); }
+  void TearDown() override { FaultInjector::instance().disarm(); }
+
+  void armOrDie(const std::string &Spec) {
+    std::string Err;
+    ASSERT_TRUE(FaultInjector::instance().armFromSpec(Spec, Err)) << Err;
+  }
+};
+
+TEST_F(ContainmentTest, CrashedJobIsContainedUnderProcessIsolation) {
+  // SIGKILL is uncatchable and sanitizer-proof: the worker dies mid-pass
+  // with no chance to report, exactly like a real SIGSEGV in release.
+  armOrDie("pass.race@boom:1:kill");
+
+  BatchOptions Opts;
+  Opts.Isolate = IsolationMode::Process;
+  Opts.Jobs = 2;
+  BatchResult R = runBatch(
+      {sourceSpec("boom", RacyProgram), sourceSpec("ok", RacyProgram)}, Opts);
+  ASSERT_EQ(R.Jobs.size(), 2u);
+
+  const JobResult &Boom = R.Jobs[0];
+  EXPECT_EQ(Boom.Name, "boom");
+  EXPECT_EQ(Boom.Status, JobStatus::Crashed);
+  EXPECT_EQ(Boom.Signal, "SIGKILL");
+  EXPECT_EQ(Boom.Phase, "race") << "crash attributed to the dying pass";
+  EXPECT_NE(Boom.Error.find("SIGKILL"), std::string::npos) << Boom.Error;
+
+  // The sibling on the same pool is untouched.
+  const JobResult &Ok = R.Jobs[1];
+  EXPECT_EQ(Ok.Status, JobStatus::Races);
+  EXPECT_EQ(Ok.Races.size(), 1u);
+
+  EXPECT_EQ(R.Summary.get("jobs.crashed"), 1u);
+  EXPECT_EQ(R.exitCode(), ExitError);
+
+  std::string Report = renderJSONL(R);
+  EXPECT_NE(Report.find("\"status\":\"crashed\""), std::string::npos);
+  EXPECT_NE(Report.find("\"signal\":\"SIGKILL\""), std::string::npos);
+  EXPECT_NE(Report.find("\"phase\":\"race\""), std::string::npos);
+}
+
+TEST_F(ContainmentTest, SignalAndSilentExitVariantsAreClassified) {
+  BatchOptions Opts;
+  Opts.Isolate = IsolationMode::Process;
+
+  // A worker that vanishes without a result (exit code 13, no r: line).
+  armOrDie("pass.race@gone:1:exit");
+  JobResult Gone = runJobContained(sourceSpec("gone", RacyProgram), Opts);
+  EXPECT_EQ(Gone.Status, JobStatus::Crashed);
+  EXPECT_NE(Gone.Error.find("exited with code 13"), std::string::npos)
+      << Gone.Error;
+  EXPECT_TRUE(Gone.Signal.empty());
+
+#if !O2_UNDER_ASAN
+  // Real signals (ASan intercepts these with its own exit path).
+  FaultInjector::instance().disarm();
+  armOrDie("pass.race@sv:1:segv");
+  JobResult Segv = runJobContained(sourceSpec("sv", RacyProgram), Opts);
+  EXPECT_EQ(Segv.Status, JobStatus::Crashed);
+  EXPECT_EQ(Segv.Signal, "SIGSEGV");
+  EXPECT_EQ(Segv.Phase, "race");
+
+  FaultInjector::instance().disarm();
+  armOrDie("pass.race@ab:1:abort");
+  JobResult Abort = runJobContained(sourceSpec("ab", RacyProgram), Opts);
+  EXPECT_EQ(Abort.Status, JobStatus::Crashed);
+  EXPECT_EQ(Abort.Signal, "SIGABRT");
+#endif
+}
+
+TEST_F(ContainmentTest, ProcessIsolationMatchesInProcessReport) {
+  // No faults: forked workers must reproduce the in-process report
+  // byte for byte, across every status the wire format carries.
+  std::vector<JobSpec> Specs = {sourceSpec("racy", RacyProgram),
+                                sourceSpec("clean", CleanProgram),
+                                sourceSpec("broken", "class {"),
+                                sourceSpec("headless", "func helper() { }")};
+  std::string Golden = renderJSONL(runBatch(Specs));
+
+  BatchOptions Opts;
+  Opts.Isolate = IsolationMode::Process;
+  Opts.Jobs = 1;
+  EXPECT_EQ(renderJSONL(runBatch(Specs, Opts)), Golden);
+  Opts.Jobs = 4;
+  EXPECT_EQ(renderJSONL(runBatch(Specs, Opts)), Golden);
+}
+
+TEST_F(ContainmentTest, CrashReportsAreDeterministicAcrossWorkerCounts) {
+  // The @module scope pins the fault to one job, so the report is
+  // byte-identical no matter how jobs interleave over workers.
+  armOrDie("pass.race@boom:1:kill");
+
+  std::vector<JobSpec> Specs = {
+      sourceSpec("boom", RacyProgram), sourceSpec("a", RacyProgram),
+      sourceSpec("b", CleanProgram), sourceSpec("c", RacyProgram)};
+
+  BatchOptions Opts;
+  Opts.Isolate = IsolationMode::Process;
+  Opts.Jobs = 1;
+  std::string Golden = renderJSONL(runBatch(Specs, Opts));
+  EXPECT_NE(Golden.find("\"status\":\"crashed\""), std::string::npos);
+
+  Opts.Jobs = 4;
+  EXPECT_EQ(renderJSONL(runBatch(Specs, Opts)), Golden);
+  EXPECT_EQ(renderJSONL(runBatch(Specs, Opts)), Golden);
+}
+
+TEST_F(ContainmentTest, HardKillContainsAStuckWorker) {
+  // `hang` ignores cooperative deadlines — only the parent's SIGTERM /
+  // SIGKILL escalation can reclaim the worker.
+  armOrDie("pass.pta@stuck:1:hang");
+
+  BatchOptions Opts;
+  Opts.Isolate = IsolationMode::Process;
+  Opts.HardKillMs = 300;
+  BatchResult R = runBatch({sourceSpec("stuck", RacyProgram)}, Opts);
+  ASSERT_EQ(R.Jobs.size(), 1u);
+  EXPECT_EQ(R.Jobs[0].Status, JobStatus::Timeout);
+  EXPECT_EQ(R.Jobs[0].Phase, "pta");
+  EXPECT_NE(R.Jobs[0].Error.find("hard deadline"), std::string::npos)
+      << R.Jobs[0].Error;
+  EXPECT_EQ(R.Summary.get("jobs.timeout"), 1u);
+}
+
+TEST_F(ContainmentTest, RssCapOomYieldsOomRecordWithPartialStats) {
+#if O2_UNDER_ASAN
+  GTEST_SKIP() << "RLIMIT_AS is incompatible with ASan shadow memory";
+#endif
+  // `hog` allocates until allocation genuinely fails, so with the cap in
+  // place the worker takes the real bad_alloc path and still manages to
+  // report over the pipe (the hog releases its hoard first).
+  armOrDie("pass.shb@cap:1:hog");
+
+  BatchOptions Opts;
+  Opts.Isolate = IsolationMode::Process;
+  Opts.MemLimitMB = 512;
+  Opts.Jobs = 2;
+  BatchResult R = runBatch(
+      {sourceSpec("cap", RacyProgram), sourceSpec("ok", RacyProgram)}, Opts);
+  ASSERT_EQ(R.Jobs.size(), 2u);
+
+  const JobResult &Cap = R.Jobs[0];
+  EXPECT_EQ(Cap.Status, JobStatus::OOM);
+  EXPECT_EQ(Cap.Error, "out of memory");
+  EXPECT_EQ(Cap.Phase, "shb");
+  // The phases that finished before the blow-up kept their statistics.
+  EXPECT_GT(Cap.Stats.get("pta.pointer-nodes"), 0u);
+
+  EXPECT_EQ(R.Jobs[1].Status, JobStatus::Races);
+  EXPECT_EQ(R.Summary.get("jobs.oom"), 1u);
+  EXPECT_EQ(R.exitCode(), ExitError);
+}
+
+TEST_F(ContainmentTest, RetryRecoversFromTransientFaults) {
+  // Nth=1 semantics make the fault transient: it fires on the first
+  // attempt only, and the bounded retry turns the job around. In-process
+  // the injector's counters are global, so the retry sees them advanced.
+  armOrDie("pass.race@flaky:1:throw");
+
+  BatchOptions Opts;
+  Opts.Retries = 2;
+  Opts.RetryBackoffMs = 1;
+  BatchResult R = runBatch({sourceSpec("flaky", RacyProgram)}, Opts);
+  ASSERT_EQ(R.Jobs.size(), 1u);
+  EXPECT_EQ(R.Jobs[0].Status, JobStatus::Races);
+  EXPECT_EQ(R.Jobs[0].Retries, 1u);
+  EXPECT_EQ(R.Summary.get("jobs.retried"), 1u);
+  EXPECT_NE(renderJSONL(R).find("\"retries\":1"), std::string::npos);
+
+  // A deterministic failure just fails Retries more times and keeps the
+  // original record (with the attempt count).
+  FaultInjector::instance().disarm();
+  armOrDie("pass.race@stubborn:*:throw");
+  BatchResult S = runBatch({sourceSpec("stubborn", RacyProgram)}, Opts);
+  EXPECT_EQ(S.Jobs[0].Status, JobStatus::InternalError);
+  EXPECT_EQ(S.Jobs[0].Retries, 2u);
+  EXPECT_NE(S.Jobs[0].Error.find("injected fault"), std::string::npos);
+}
+
+TEST_F(ContainmentTest, DegradedFallbackCompletesSoundly) {
+  // First attempt OOMs in PTA; --degrade re-runs under the cheaper
+  // (context-insensitive, still sound) configuration, which must still
+  // report the race — degradation trades precision, never recall.
+  armOrDie("pass.pta@deg:1:oom");
+
+  BatchOptions Opts;
+  Opts.Degrade = true;
+  BatchResult R = runBatch({sourceSpec("deg", RacyProgram)}, Opts);
+  ASSERT_EQ(R.Jobs.size(), 1u);
+  EXPECT_EQ(R.Jobs[0].Status, JobStatus::Races);
+  EXPECT_EQ(R.Jobs[0].Races.size(), 1u);
+  EXPECT_TRUE(R.Jobs[0].Degraded);
+  EXPECT_NE(R.Jobs[0].DegradedConfigFP, 0u);
+  EXPECT_EQ(R.Summary.get("jobs.degraded"), 1u);
+  EXPECT_EQ(R.exitCode(), ExitRacesFound);
+
+  std::string Report = renderJSONL(R);
+  EXPECT_NE(Report.find("\"degraded\":true"), std::string::npos);
+  EXPECT_NE(Report.find("\"degraded-config\":\""), std::string::npos);
+}
+
+TEST_F(ContainmentTest, BadAllocIsContainedEvenInProcess) {
+  // Satellite robustness: without isolation, bad_alloc still becomes a
+  // structured `oom` record instead of escaping the pool thread.
+  armOrDie("alloc@oomjob:1:oom");
+  BatchResult R = runBatch(
+      {sourceSpec("ok", RacyProgram), sourceSpec("oomjob", RacyProgram)});
+  ASSERT_EQ(R.Jobs.size(), 2u);
+  EXPECT_EQ(R.Jobs[0].Status, JobStatus::Races);
+  EXPECT_EQ(R.Jobs[1].Name, "oomjob");
+  EXPECT_EQ(R.Jobs[1].Status, JobStatus::OOM);
+  EXPECT_EQ(R.Jobs[1].Error, "out of memory");
+  // The alloc point sits between verification and the first pass.
+  EXPECT_EQ(R.Jobs[1].Phase, "verify");
+  EXPECT_EQ(R.exitCode(), ExitError);
+
+  // Mid-pipeline OOM keeps the partial statistics of finished phases.
+  FaultInjector::instance().disarm();
+  armOrDie("pass.osa@partial:1:oom");
+  JobResult P = runOneJob(sourceSpec("partial", RacyProgram), BatchOptions());
+  EXPECT_EQ(P.Status, JobStatus::OOM);
+  EXPECT_EQ(P.Phase, "osa");
+  EXPECT_GT(P.Stats.get("pta.pointer-nodes"), 0u);
+
+  // The parser fault point maps to a contained internal error.
+  FaultInjector::instance().disarm();
+  armOrDie("parse@pf:1:throw");
+  JobResult F = runOneJob(sourceSpec("pf", RacyProgram), BatchOptions());
+  EXPECT_EQ(F.Status, JobStatus::InternalError);
+  EXPECT_EQ(F.Phase, "parse");
+  EXPECT_NE(F.Error.find("injected fault"), std::string::npos);
+}
+
+TEST_F(ContainmentTest, EveryPassFaultPointIsWired) {
+  // One throw per pass point: the error is contained in-process and
+  // attributed to exactly that pass.
+  const struct {
+    const char *Point;
+    const char *Phase;
+  } Cases[] = {
+      {"pass.pta", "pta"},           {"pass.osa", "osa"},
+      {"pass.shb", "shb"},           {"pass.hbindex", "hbindex"},
+      {"pass.race", "race"},         {"pass.deadlock", "deadlock"},
+      {"pass.oversync", "oversync"}, {"pass.racerd", "racerd"},
+      {"pass.escape", "escape"},
+  };
+  BatchOptions Opts;
+  Opts.Analyses = AnalysisSet::all();
+  for (const auto &C : Cases) {
+    FaultInjector::instance().disarm();
+    std::string Err;
+    ASSERT_TRUE(FaultInjector::instance().armFromSpec(
+        std::string(C.Point) + ":1:throw", Err))
+        << Err;
+    JobResult R = runOneJob(sourceSpec("m", RacyProgram), Opts);
+    EXPECT_EQ(R.Status, JobStatus::InternalError) << C.Point;
+    EXPECT_EQ(R.Phase, C.Phase) << C.Point;
+  }
+}
+
+TEST_F(ContainmentTest, ResultCacheNeverStoresCrashedOrDegradedResults) {
+  ResultCache Cache(freshCacheDir("contain"));
+  JobResult Out;
+
+  JobResult Good;
+  Good.Status = JobStatus::Clean;
+  Cache.store(1, 2, Good);
+  EXPECT_TRUE(Cache.lookup(1, 2, Out));
+
+  JobResult Crashed;
+  Crashed.Status = JobStatus::Crashed;
+  Crashed.Signal = "SIGKILL";
+  Cache.store(3, 4, Crashed);
+  EXPECT_FALSE(Cache.lookup(3, 4, Out));
+
+  JobResult Oom;
+  Oom.Status = JobStatus::OOM;
+  Cache.store(5, 6, Oom);
+  EXPECT_FALSE(Cache.lookup(5, 6, Out));
+
+  JobResult Degraded;
+  Degraded.Status = JobStatus::Races;
+  Degraded.Degraded = true;
+  Degraded.DegradedConfigFP = 7;
+  Cache.store(7, 8, Degraded);
+  EXPECT_FALSE(Cache.lookup(7, 8, Out));
+
+  // End to end: a job that crashes every run must re-run (and re-crash)
+  // on a warm directory rather than replay a poisoned entry.
+  armOrDie("pass.race@boom:*:kill");
+  BatchOptions Opts;
+  Opts.Isolate = IsolationMode::Process;
+  Opts.CacheDir = freshCacheDir("crashcache");
+  BatchResult R1 = runBatch({sourceSpec("boom", RacyProgram)}, Opts);
+  EXPECT_EQ(R1.Jobs[0].Status, JobStatus::Crashed);
+  BatchResult R2 = runBatch({sourceSpec("boom", RacyProgram)}, Opts);
+  EXPECT_EQ(R2.CacheHits, 0u);
+  EXPECT_EQ(R2.Jobs[0].Status, JobStatus::Crashed);
+}
+
+TEST_F(ContainmentTest, DegradedResultsAreNeverServedFromCache) {
+  armOrDie("pass.pta@deg:1:oom");
+  BatchOptions Opts;
+  Opts.Degrade = true;
+  Opts.CacheDir = freshCacheDir("degcache");
+
+  BatchResult R1 = runBatch({sourceSpec("deg", RacyProgram)}, Opts);
+  ASSERT_EQ(R1.Jobs.size(), 1u);
+  EXPECT_TRUE(R1.Jobs[0].Degraded);
+
+  // Fault spent: the re-run must analyze under the full configuration —
+  // a cache hit here would freeze the degraded result forever.
+  BatchResult R2 = runBatch({sourceSpec("deg", RacyProgram)}, Opts);
+  EXPECT_EQ(R2.CacheHits, 0u);
+  EXPECT_FALSE(R2.Jobs[0].Degraded);
+  EXPECT_EQ(R2.Jobs[0].Status, JobStatus::Races);
+}
+
+TEST_F(ContainmentTest, CacheIOFaultsDegradeToMisses) {
+  std::vector<JobSpec> Specs = {sourceSpec("racy", RacyProgram)};
+  BatchOptions Opts;
+  Opts.CacheDir = freshCacheDir("faultio");
+
+  // A failing store is swallowed: the run succeeds, nothing is cached.
+  armOrDie("cache.write:1:throw");
+  BatchResult Cold = runBatch(Specs, Opts);
+  EXPECT_EQ(Cold.Jobs[0].Status, JobStatus::Races);
+  EXPECT_EQ(Cold.CacheMisses, 1u);
+
+  BatchResult Second = runBatch(Specs, Opts);
+  EXPECT_EQ(Second.CacheHits, 0u) << "the faulted store wrote nothing";
+  EXPECT_EQ(Second.CacheMisses, 1u);
+
+  // A failing read degrades the warm entry to a miss; the job re-runs
+  // and the report is unchanged.
+  armOrDie("cache.read:1:throw");
+  BatchResult Third = runBatch(Specs, Opts);
+  EXPECT_EQ(Third.CacheHits, 0u);
+  EXPECT_EQ(Third.CacheMisses, 1u);
+  EXPECT_EQ(renderJSONL(Third), renderJSONL(Cold));
+
+  // Faults spent: the entry (rewritten by the re-run) is served again.
+  BatchResult Fourth = runBatch(Specs, Opts);
+  EXPECT_EQ(Fourth.CacheHits, 1u);
 }
 
 TEST(DriverTest, LoadBaselineHandlesEscapesAndJunk) {

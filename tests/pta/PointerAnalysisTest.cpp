@@ -314,4 +314,23 @@ TEST(PointerAnalysisTest, OptionNames) {
   EXPECT_EQ(optsFor(ContextKind::Origin, 1).name(), "1-origin");
 }
 
+TEST(PointerAnalysisTest, MainlessModuleYieldsEmptyResultNotAbort) {
+  // The verifier rejects main-less modules; a caller that skips it must
+  // get a flagged empty result (trivially sound: nothing executes), not
+  // an assert/UB, so release-build fleets degrade per-job.
+  std::string Err;
+  auto M = parseModule("func helper() { }", Err);
+  ASSERT_TRUE(M) << Err;
+  ASSERT_EQ(M->getMain(), nullptr);
+  for (ContextKind CK :
+       {ContextKind::Insensitive, ContextKind::Origin, ContextKind::KCallsite}) {
+    auto R = runPointerAnalysis(*M, optsFor(CK));
+    EXPECT_TRUE(R->entryMissing());
+    EXPECT_FALSE(R->cancelled());
+    EXPECT_TRUE(R->instances().empty());
+    EXPECT_EQ(R->stats().get("pta.no-entry"), 1u);
+    EXPECT_EQ(R->stats().get("pta.pointer-nodes"), 0u);
+  }
+}
+
 } // namespace

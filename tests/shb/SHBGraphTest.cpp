@@ -352,4 +352,20 @@ TEST(SHBGraphTest, RegionsWithSpawnsAreFlagged) {
   EXPECT_EQ(Flagged, 2u); // both o.v writes share the spawning region
 }
 
+TEST(SHBGraphTest, MainlessModuleYieldsEmptyGraphNotAbort) {
+  // Skip the verifier on purpose: a main-less module must degrade to a
+  // flagged empty graph (no threads — nothing executes, no races), not
+  // an assert/UB in release builds.
+  std::string Err;
+  auto M = parseModule("func helper() { }", Err);
+  ASSERT_TRUE(M) << Err;
+  ASSERT_EQ(M->getMain(), nullptr);
+  auto PTA = runOPA(*M);
+  EXPECT_TRUE(PTA->entryMissing());
+  SHBGraph G = buildSHBGraph(*PTA);
+  EXPECT_TRUE(G.entryMissing());
+  EXPECT_FALSE(G.cancelled());
+  EXPECT_EQ(G.numThreads(), 0u);
+}
+
 } // namespace
